@@ -1,0 +1,355 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4). Each BenchmarkFigN/BenchmarkTableN target runs the corresponding
+// experiment at reduced replication and reports the headline numbers as
+// custom metrics, so `go test -bench=.` both times the harness and prints
+// the reproduced values. Micro-benchmarks for the simulation substrate
+// follow at the end.
+package pas_test
+
+import (
+	"testing"
+
+	pas "repro"
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/energy"
+	"repro/internal/experiment"
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// benchOpts runs experiments small enough for iterated benchmarking while
+// keeping the qualitative shape.
+func benchOpts() pas.ExperimentOptions {
+	return pas.ExperimentOptions{Quick: true, Seeds: pas.Seeds(2)}
+}
+
+// lastY returns the y value of a curve at its largest x.
+func lastY(res pas.ExperimentResult, name string) float64 {
+	c, ok := res.Curve(name)
+	if !ok || len(c.Points) == 0 {
+		return -1
+	}
+	return c.Points[len(c.Points)-1].Y
+}
+
+func firstY(res pas.ExperimentResult, name string) float64 {
+	c, ok := res.Curve(name)
+	if !ok || len(c.Points) == 0 {
+		return -1
+	}
+	return c.Points[0].Y
+}
+
+func BenchmarkTable1Profile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := energy.Telos()
+		m := energy.NewMeter(p, 0, energy.ModeActive)
+		for t := 1.0; t <= 128; t *= 2 {
+			m.SetMode(t, energy.ModeSleep)
+			m.SetMode(t+0.5, energy.ModeActive)
+			m.ChargeTxBytes(64)
+		}
+		m.Close(256)
+		if m.TotalJ() <= 0 {
+			b.Fatal("no energy accounted")
+		}
+	}
+}
+
+func BenchmarkFig4DelayVsMaxSleep(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "PAS"), "pas-delay-s")
+	b.ReportMetric(lastY(res, "SAS"), "sas-delay-s")
+	b.ReportMetric(lastY(res, "NS"), "ns-delay-s")
+}
+
+func BenchmarkFig5DelayVsAlertTime(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(firstY(res, "PAS"), "delay-at-T10-s")
+	b.ReportMetric(lastY(res, "PAS"), "delay-at-T30-s")
+}
+
+func BenchmarkFig6EnergyVsMaxSleep(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "PAS"), "pas-energy-J")
+	b.ReportMetric(lastY(res, "SAS"), "sas-energy-J")
+	b.ReportMetric(lastY(res, "NS"), "ns-energy-J")
+}
+
+func BenchmarkFig7EnergyVsAlertTime(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(firstY(res, "PAS"), "energy-at-T10-J")
+	b.ReportMetric(lastY(res, "PAS"), "energy-at-T30-J")
+}
+
+func BenchmarkExtFailures(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtFailures(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "pas"), "pas-delay-at-30pct-s")
+}
+
+func BenchmarkExtLossyChannel(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtLossy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "pas"), "pas-delay-at-50pct-loss-s")
+}
+
+func BenchmarkExtDegenerateSAS(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtDegenerate(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "PAS (T→0)"), "degenerate-delay-s")
+	b.ReportMetric(lastY(res, "SAS"), "sas-delay-s")
+}
+
+func BenchmarkExtEstimatorAblation(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtEstimator(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "min (paper)"), "min-delay-s")
+	b.ReportMetric(lastY(res, "mean"), "mean-delay-s")
+}
+
+func BenchmarkExtPlume(b *testing.B) {
+	// The PDE integration dominates; build the scenario once and bench the
+	// protocol runs over it.
+	sc, err := pas.PlumeScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep pas.RunReport
+	for i := 0; i < b.N; i++ {
+		rep, err = pas.Run(pas.RunConfig{Scenario: sc, Protocol: pas.ProtoPAS, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.AvgDelay, "pas-delay-s")
+	b.ReportMetric(rep.AvgEnergyJ, "pas-energy-J")
+}
+
+func BenchmarkExtDensity(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtDensity(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "PAS delay"), "delay-at-max-density-s")
+}
+
+func BenchmarkExtLifetime(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtLifetime(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "ns"), "ns-first-death-s")
+	b.ReportMetric(lastY(res, "pas"), "pas-first-death-s")
+}
+
+func BenchmarkExtCollisions(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtCollisions(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "pas (collisions)"), "delay-with-collisions-s")
+}
+
+func BenchmarkExtContour(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtContour(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "ns"), "ns-area-err")
+	b.ReportMetric(lastY(res, "pas"), "pas-area-err")
+}
+
+func BenchmarkExtTerrain(b *testing.B) {
+	// Fast marching dominates construction; build once, bench protocol runs.
+	sc, err := pas.TerrainScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep pas.RunReport
+	for i := 0; i < b.N; i++ {
+		rep, err = pas.Run(pas.RunConfig{Scenario: sc, Protocol: pas.ProtoPAS, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.AvgDelay, "pas-delay-s")
+}
+
+func BenchmarkFastMarching(b *testing.B) {
+	cfg := diffusion.TerrainConfig{
+		Bounds:  geom.R(0, 0, 40, 40),
+		NX:      64,
+		NY:      64,
+		Speed:   func(geom.Vec2) float64 { return 0.5 },
+		Source:  geom.V(20, 20),
+		Horizon: 200,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusion.NewTerrainFront(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(1, func(*sim.Kernel) {})
+		k.Step()
+	}
+}
+
+func BenchmarkPASSingleRun(b *testing.B) {
+	sc := pas.PaperScenario()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pas.Run(pas.RunConfig{Scenario: sc, Protocol: pas.ProtoPAS, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSASSingleRun(b *testing.B) {
+	sc := pas.PaperScenario()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pas.Run(pas.RunConfig{Scenario: sc, Protocol: pas.ProtoSAS, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimatorMinETA(b *testing.B) {
+	reports := make([]core.NeighborReport, 12)
+	for i := range reports {
+		reports[i] = core.NeighborReport{
+			ID:  pas.NodeID(i),
+			Pos: geom.V(float64(i), float64(i%3)),
+			State: func() node.State {
+				if i%2 == 0 {
+					return node.StateCovered
+				}
+				return node.StateAlert
+			}(),
+			Velocity: geom.V(0.5, 0.1), HasVelocity: true,
+			PredictedArrival: float64(20 + i), DetectedAt: float64(10 + i), Detected: i%2 == 0,
+			ReceivedAt: float64(15 + i),
+		}
+	}
+	x := geom.V(20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MinETA(x, 30, reports, 45)
+	}
+}
+
+func BenchmarkPlumeBuild(b *testing.B) {
+	cfg := diffusion.PlumeConfig{
+		Bounds:      geom.R(0, 0, 20, 20),
+		NX:          32,
+		NY:          32,
+		Diffusivity: 1.5,
+		Source:      geom.V(10, 10),
+		Rate:        30,
+		Threshold:   0.05,
+		Horizon:     30,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusion.NewGridPlume(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResponseCodec(b *testing.B) {
+	r := core.Response{
+		Pos: geom.V(1, 2), State: node.StateAlert,
+		Velocity: geom.V(0.5, 0.25), HasVelocity: true,
+		PredictedArrival: 42, DetectedAt: 40, Detected: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := r.Encode()
+		if _, err := core.DecodeResponse(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

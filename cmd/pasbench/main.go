@@ -1,0 +1,81 @@
+// Command pasbench regenerates the paper's tables and figures (and the
+// extension experiments) from the experiment registry.
+//
+// Usage:
+//
+//	pasbench -exp all                 # run everything, print text tables
+//	pasbench -exp fig4 -seeds 12      # one figure at higher replication
+//	pasbench -exp fig6 -csv out/      # also write long-form CSV
+//	pasbench -list                    # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	pas "repro"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id to run, or 'all'")
+		seeds  = flag.Int("seeds", 0, "replication count (0 = experiment default)")
+		quick  = flag.Bool("quick", false, "reduced sweeps and replication")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range pas.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := pas.ExperimentOptions{Quick: *quick}
+	if *seeds > 0 {
+		opts.Seeds = pas.Seeds(*seeds)
+	}
+
+	var targets []pas.Experiment
+	if *expID == "all" {
+		targets = pas.Experiments()
+	} else {
+		e, ok := pas.LookupExperiment(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pasbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		targets = []pas.Experiment{e}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pasbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range targets {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pasbench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command passim runs a single simulation of one protocol over one scenario
+// and prints the run metrics (optionally the per-node table).
+//
+// Usage:
+//
+//	passim -protocol pas -nodes 30 -range 10 -seed 1
+//	passim -protocol sas -scenario gasleak -table
+//	passim -protocol pas -maxsleep 30 -threshold 25 -loss 0.2 -fail 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pas "repro"
+)
+
+func main() {
+	var (
+		protocol  = flag.String("protocol", "pas", "protocol: pas, sas, ns, duty")
+		scenario  = flag.String("scenario", "paper", "scenario: paper, irregular, gasleak, twinspill, passing, plume, terrain, quiet")
+		nodes     = flag.Int("nodes", 30, "deployment size")
+		radioRng  = flag.Float64("range", 10, "transmission range (m)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		maxSleep  = flag.Float64("maxsleep", 10, "maximum sleep interval (s)")
+		threshold = flag.Float64("threshold", 20, "PAS alert-time threshold (s)")
+		lossProb  = flag.Float64("loss", 0, "packet loss probability (0 = perfect unit disk)")
+		failFrac  = flag.Float64("fail", 0, "fraction of nodes to fail at random times")
+		table     = flag.Bool("table", false, "print the per-node table")
+	)
+	flag.Parse()
+
+	sc, err := pas.ScenarioByName(*scenario, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "passim: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := pas.RunConfig{
+		Scenario:     sc,
+		Nodes:        *nodes,
+		Range:        *radioRng,
+		Protocol:     *protocol,
+		Seed:         *seed,
+		FailFraction: *failFrac,
+	}
+	cfg.PAS = pas.DefaultPASConfig()
+	cfg.PAS.SleepMax = *maxSleep
+	cfg.PAS.SleepIncrement = *maxSleep / 5
+	cfg.PAS.AlertThreshold = *threshold
+	cfg.SAS = pas.DefaultSASConfig()
+	cfg.SAS.SleepMax = *maxSleep
+	cfg.SAS.SleepIncrement = *maxSleep / 5
+	if *lossProb > 0 {
+		cfg.Loss = pas.LossyDisk{Range: *radioRng, LossProb: *lossProb}
+	}
+
+	report, err := pas.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "passim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %-10s protocol %-5s nodes %d range %.0fm seed %d\n",
+		sc.Name, *protocol, *nodes, *radioRng, *seed)
+	fmt.Println(report)
+	if *table {
+		fmt.Print(report.Table())
+	}
+}

@@ -1,0 +1,43 @@
+// Gasleak: the paper's §3.4 emergency discussion — "the spreading of noxious
+// gas in a city is highly emergent. In this case, the alert area should be
+// enlarged to minimize detecting delays." This example sweeps the PAS
+// alert-time threshold on an advected gas release and prints the
+// delay/energy trade-off the knob buys (the adaptivity SAS and NS lack).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pas "repro"
+)
+
+func main() {
+	sc := pas.GasLeakScenario()
+	fmt.Printf("scenario: %s (%s)\n", sc.Name, sc.Description)
+	fmt.Printf("field %v, horizon %.0f s\n\n", sc.Field, sc.Horizon)
+
+	seeds := pas.Seeds(6)
+	fmt.Printf("%-14s %-22s %-22s\n", "alert time (s)", "avg delay (s)", "avg energy (J)")
+	for _, threshold := range []float64{2, 5, 10, 15, 25} {
+		cfg := pas.RunConfig{Scenario: sc, Protocol: pas.ProtoPAS, Nodes: 60, Range: 16}
+		cfg.PAS = pas.DefaultPASConfig()
+		cfg.PAS.AlertThreshold = threshold
+		// The advected front moves at up to 1.8 m/s; naps must stay shorter
+		// than the time information needs to outrun it (range/speed ≈ 9 s),
+		// otherwise no threshold can help.
+		cfg.PAS.SleepMax = 8
+		cfg.PAS.SleepIncrement = 2
+		agg, err := pas.Replicate(cfg, seeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14.0f %8.3f ± %-8.2g %10.4f ± %-8.2g\n",
+			threshold,
+			agg.Delay.Mean(), agg.Delay.CI95(),
+			agg.Energy.Mean(), agg.Energy.CI95())
+	}
+
+	fmt.Println("\nraising the alert time enlarges the alert area: detection delay falls")
+	fmt.Println("while energy rises — tune it to the emergency level of the phenomenon.")
+}

@@ -1,0 +1,51 @@
+// Lifetime: the paper's opening motivation — "energy efficiency has proven
+// to be an important factor dominating the working period of WSN
+// surveillance systems" — made concrete. Every node gets the same finite
+// battery and watches a quiet field; the table reports when the first node
+// dies and how many survive the horizon under each protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pas "repro"
+)
+
+func main() {
+	sc := pas.QuietScenario()
+	const batteryJ = 0.8
+	fmt.Printf("scenario: %s (%s)\n", sc.Name, sc.Description)
+	fmt.Printf("battery %.2f J per node (always-on lifetime: %.1f s at 41 mW)\n\n",
+		batteryJ, batteryJ/0.041)
+
+	seeds := pas.Seeds(4)
+	fmt.Printf("%-10s %-10s %-18s %-12s\n", "protocol", "maxSleep", "first death (s)", "deaths/run")
+	for _, proto := range []string{pas.ProtoNS, pas.ProtoPAS, pas.ProtoSAS} {
+		for _, maxSleep := range []float64{10, 30} {
+			cfg := pas.RunConfig{Scenario: sc, Protocol: proto, BatteryJ: batteryJ}
+			cfg.PAS = pas.DefaultPASConfig()
+			cfg.PAS.SleepMax = maxSleep
+			cfg.PAS.SleepIncrement = maxSleep / 5
+			cfg.SAS = pas.DefaultSASConfig()
+			cfg.SAS.SleepMax = maxSleep
+			cfg.SAS.SleepIncrement = maxSleep / 5
+			agg, err := pas.Replicate(cfg, seeds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			death := fmt.Sprintf("%.1f", agg.FirstDeath.Mean())
+			if agg.Deaths.Mean() == 0 {
+				death = fmt.Sprintf(">%.0f (horizon)", sc.Horizon)
+			}
+			fmt.Printf("%-10s %-10.0f %-18s %-12.1f\n", proto, maxSleep, death, agg.Deaths.Mean())
+			if proto == pas.ProtoNS {
+				break // NS ignores the sleep cap; one row suffices
+			}
+		}
+	}
+
+	fmt.Println("\nadaptive sleeping multiplies the surveillance working period; the")
+	fmt.Println("battery budget that kills an always-on network in seconds sustains a")
+	fmt.Println("PAS network for the whole watch.")
+}

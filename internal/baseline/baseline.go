@@ -1,0 +1,86 @@
+// Package baseline implements the non-predictive comparison protocols: NS
+// (no-sleeping, the paper's always-on baseline) and a fixed-period
+// duty-cycling agent used by the ablation experiments.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// NS is the paper's no-sleeping baseline: the node never sleeps, so it
+// detects the stimulus with zero delay at maximum energy cost.
+type NS struct{}
+
+var _ node.Agent = (*NS)(nil)
+
+// NewNS returns a no-sleeping agent.
+func NewNS() *NS { return &NS{} }
+
+// Init implements node.Agent.
+func (*NS) Init(n *node.Node) { n.SetState(node.StateSafe) }
+
+// OnWake implements node.Agent (never called: NS never sleeps).
+func (*NS) OnWake(*node.Node) {}
+
+// OnDetect implements node.Agent.
+func (*NS) OnDetect(n *node.Node) { n.SetState(node.StateCovered) }
+
+// OnStimulusGone implements node.Agent.
+func (*NS) OnStimulusGone(n *node.Node) { n.SetState(node.StateSafe) }
+
+// OnMessage implements node.Agent: NS nodes exchange no protocol traffic.
+func (*NS) OnMessage(*node.Node, radio.NodeID, radio.Message) {}
+
+// DutyCycle sleeps and wakes on a fixed period regardless of the stimulus —
+// the oblivious power-management strawman. Awake for OnTime, asleep for
+// Period−OnTime, repeating.
+type DutyCycle struct {
+	Period float64
+	OnTime float64
+}
+
+var _ node.Agent = (*DutyCycle)(nil)
+
+// NewDutyCycle returns a fixed duty-cycling agent; period must exceed the
+// on-time and both must be positive.
+func NewDutyCycle(period, onTime float64) *DutyCycle {
+	if period <= 0 || onTime <= 0 || onTime >= period {
+		panic(fmt.Sprintf("baseline: invalid duty cycle period=%g on=%g", period, onTime))
+	}
+	return &DutyCycle{Period: period, OnTime: onTime}
+}
+
+// Init implements node.Agent.
+func (d *DutyCycle) Init(n *node.Node) {
+	n.SetState(node.StateSafe)
+	d.scheduleSleep(n)
+}
+
+// scheduleSleep stays awake for OnTime, then sleeps out the period (unless
+// the node became covered meanwhile, in which case it keeps monitoring).
+func (d *DutyCycle) scheduleSleep(n *node.Node) {
+	n.Kernel().Schedule(d.OnTime, func(*sim.Kernel) {
+		if n.IsAwake() && n.State() != node.StateCovered {
+			n.Sleep(d.Period - d.OnTime)
+		}
+	})
+}
+
+// OnWake implements node.Agent.
+func (d *DutyCycle) OnWake(n *node.Node) { d.scheduleSleep(n) }
+
+// OnDetect implements node.Agent: once covered, stay awake to monitor.
+func (d *DutyCycle) OnDetect(n *node.Node) { n.SetState(node.StateCovered) }
+
+// OnStimulusGone implements node.Agent.
+func (d *DutyCycle) OnStimulusGone(n *node.Node) {
+	n.SetState(node.StateSafe)
+	d.scheduleSleep(n)
+}
+
+// OnMessage implements node.Agent: duty-cycled nodes are silent.
+func (*DutyCycle) OnMessage(*node.Node, radio.NodeID, radio.Message) {}

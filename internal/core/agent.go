@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Agent is one node's PAS protocol instance, implementing the state machine
+// of the paper's Fig. 3:
+//
+//	safe    — sleeps on the linear schedule; on wake it probes with a
+//	          REQUEST, waits ResponseWindow, and either alerts (expected
+//	          arrival below the threshold) or sleeps longer.
+//	alert   — stays awake, answers REQUESTs, refines its prediction on
+//	          every RESPONSE (rebroadcasting significant changes), and
+//	          periodically reassesses: back to safe when the expected
+//	          arrival rises above the threshold, covered on detection.
+//	covered — stays awake, answers REQUESTs; on detection it REQUESTs its
+//	          neighbours, computes the actual spreading velocity from the
+//	          covered ones and broadcasts the new estimate. When the
+//	          stimulus leaves, a detection timeout returns it to safe.
+type Agent struct {
+	cfg      Config
+	reports  map[radio.NodeID]NeighborReport
+	schedule *SleepSchedule
+
+	velocity    geom.Vec2
+	hasVelocity bool
+	predicted   float64 // absolute predicted arrival at this node (+Inf unknown)
+
+	decision       *sim.Timer // end of a REQUEST's response window
+	reassess       *sim.Timer // alert-state periodic re-evaluation
+	coveredTimeout *sim.Timer // covered → safe after the stimulus leaves
+
+	detected   bool
+	detectedAt float64
+	sleepCount int // jitter sequence index
+}
+
+var _ node.Agent = (*Agent)(nil)
+
+// New constructs a PAS agent with the given tunables; the config is
+// validated once here so misconfigured experiments fail loudly.
+func New(cfg Config) *Agent {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Agent{
+		cfg:       cfg,
+		reports:   make(map[radio.NodeID]NeighborReport),
+		schedule:  NewSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
+		predicted: math.Inf(1),
+	}
+}
+
+// Predicted returns the agent's current absolute arrival prediction (+Inf
+// when unknown); exposed for tests and the visualizer.
+func (a *Agent) Predicted() float64 { return a.predicted }
+
+// Velocity returns the agent's current spreading-velocity estimate.
+func (a *Agent) Velocity() (geom.Vec2, bool) { return a.velocity, a.hasVelocity }
+
+// Init implements node.Agent: boot in safe state and probe once, then start
+// sleeping. (All sensors boot active; the first probe establishes whether
+// anything is already happening nearby.)
+func (a *Agent) Init(n *node.Node) {
+	a.decision = sim.NewTimer(n.Kernel())
+	a.reassess = sim.NewTimer(n.Kernel())
+	a.coveredTimeout = sim.NewTimer(n.Kernel())
+	n.SetState(node.StateSafe)
+	a.probe(n)
+}
+
+// probe sends a REQUEST and schedules the state decision at the end of the
+// response window.
+func (a *Agent) probe(n *node.Node) {
+	n.Broadcast(Request{})
+	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) { a.decide(n) })
+}
+
+// decide evaluates the freshly gathered reports and commits to alert or
+// safe+sleep (safe-state behaviour of §3.2).
+func (a *Agent) decide(n *node.Node) {
+	if n.State() == node.StateCovered {
+		return // detection happened inside the window; covered logic owns the node
+	}
+	a.refreshEstimate(n, false)
+	eta := a.currentETA(n)
+	alert := eta < a.cfg.AlertThreshold
+	if a.cfg.Hook != nil && a.cfg.Hook.Decision != nil {
+		a.cfg.Hook.Decision(int(n.ID()), eta, len(a.reports), alert)
+	}
+	if alert {
+		a.enterAlert(n)
+		return
+	}
+	a.enterSafe(n, false)
+}
+
+// enterAlert transitions to the alert state and announces the prediction.
+func (a *Agent) enterAlert(n *node.Node) {
+	wasAlert := n.State() == node.StateAlert
+	n.SetState(node.StateAlert)
+	if !wasAlert {
+		// Entering alert is by definition a significant new prediction:
+		// propagate it so farther nodes learn (the mechanism that gives PAS
+		// its larger information field than SAS).
+		a.sendResponse(n)
+		a.armReassess(n)
+	}
+}
+
+// armReassess schedules the periodic alert re-evaluation.
+func (a *Agent) armReassess(n *node.Node) {
+	a.reassess.Reset(a.cfg.AlertReassess, func(*sim.Kernel) {
+		if n.State() != node.StateAlert {
+			return
+		}
+		if n.Sense() {
+			return // detection takes over (OnDetect ran)
+		}
+		a.refreshEstimate(n, true)
+		if eta := a.currentETA(n); eta >= a.cfg.AlertThreshold {
+			a.enterSafe(n, true)
+			return
+		}
+		a.armReassess(n)
+	})
+}
+
+// enterSafe transitions to safe and sleeps. resetRamp restarts the linear
+// schedule (used when falling back from alert/covered, where the situation
+// has changed and cautious re-probing is warranted).
+func (a *Agent) enterSafe(n *node.Node, resetRamp bool) {
+	a.reassess.Stop()
+	n.SetState(node.StateSafe)
+	if resetRamp {
+		a.schedule.Reset()
+	}
+	a.sleepCount++
+	d := a.schedule.Next() * PhaseJitter(int(n.ID()), a.sleepCount, a.cfg.SleepJitter)
+	n.Sleep(d)
+}
+
+// OnWake implements node.Agent: a safe node that slept through nothing
+// probes again.
+func (a *Agent) OnWake(n *node.Node) {
+	a.probe(n)
+}
+
+// OnDetect implements node.Agent: the covered-state entry of §3.2 ("it first
+// sends a REQUEST message; then it calculates the expected arrival time
+// according to its neighbors' response, and finally it sends a RESPONSE
+// message to deliver the new changes" — for a detecting node the calculation
+// is the actual spreading velocity).
+func (a *Agent) OnDetect(n *node.Node) {
+	a.detected = true
+	a.detectedAt = n.Now()
+	a.predicted = a.detectedAt // arrival is no longer a prediction
+	a.reassess.Stop()
+	a.decision.Stop()
+	n.SetState(node.StateCovered)
+	n.Broadcast(Request{})
+	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) {
+		v, ok := ActualVelocity(n.Pos(), a.detectedAt, a.reportSlice(), a.cfg.MinVelocityDt)
+		if ok {
+			a.velocity, a.hasVelocity = v, true
+		}
+		if a.cfg.Hook != nil && a.cfg.Hook.Velocity != nil {
+			a.cfg.Hook.Velocity(int(n.ID()), v.X, v.Y, ok)
+		}
+		a.sendResponse(n)
+	})
+}
+
+// OnStimulusGone implements node.Agent: covered → safe after the detection
+// timeout (paper Fig. 3).
+func (a *Agent) OnStimulusGone(n *node.Node) {
+	a.coveredTimeout.Reset(a.cfg.DetectionTimeout, func(*sim.Kernel) {
+		if n.State() != node.StateCovered || !n.IsAwake() {
+			return
+		}
+		if n.CoveredNow() {
+			return // stimulus came back during the timeout
+		}
+		a.enterSafe(n, true)
+	})
+}
+
+// OnMessage implements node.Agent.
+func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, msg radio.Message) {
+	switch m := msg.(type) {
+	case Request:
+		a.handleRequest(n)
+	case Response:
+		a.handleResponse(n, from, m)
+	}
+}
+
+// handleRequest answers with the node's current knowledge. Only alert and
+// covered nodes respond — safe nodes have nothing fresher than what the
+// requester already knows, and keeping them quiet preserves the PAS/SAS
+// contrast (alert-node responses are what widen PAS's information field).
+func (a *Agent) handleRequest(n *node.Node) {
+	st := n.State()
+	if st != node.StateAlert && st != node.StateCovered {
+		return
+	}
+	stagger := a.cfg.ResponseStagger * float64(1+int(n.ID())%8)
+	if stagger <= 0 {
+		a.sendResponse(n)
+		return
+	}
+	n.Kernel().Schedule(stagger, func(*sim.Kernel) {
+		if n.IsAwake() {
+			a.sendResponse(n)
+		}
+	})
+}
+
+// handleResponse folds a neighbour's report into the table and re-evaluates
+// (alert-state behaviour of §3.2: "If a sensor receives a RESPONSE message,
+// it re-calculates the expected arrival time and replies with a RESPONSE
+// message if the difference between the expectations has changed
+// significantly").
+func (a *Agent) handleResponse(n *node.Node, from radio.NodeID, m Response) {
+	a.reports[from] = reportFromResponse(from, m, n.Now())
+	switch n.State() {
+	case node.StateCovered:
+		// Covered nodes only serve information; their own arrival is fact.
+	case node.StateAlert:
+		changed := a.refreshEstimate(n, true)
+		if eta := a.currentETA(n); eta >= a.cfg.AlertThreshold {
+			a.enterSafe(n, true)
+			return
+		}
+		if changed {
+			a.sendResponse(n)
+		}
+	case node.StateSafe:
+		if a.decision.Armed() {
+			return // decision at the window end will use the fresh table
+		}
+		// A safe node awake outside a probe window (e.g. just fell back
+		// from alert within the same instant) re-evaluates directly.
+		a.refreshEstimate(n, false)
+		if eta := a.currentETA(n); eta < a.cfg.AlertThreshold {
+			a.enterAlert(n)
+		}
+	}
+}
+
+// refreshEstimate recomputes the expected velocity and predicted arrival
+// from the report table. It returns whether the prediction changed
+// significantly (per the config fraction). announce selects whether the
+// significant-change test is meaningful for the caller.
+func (a *Agent) refreshEstimate(n *node.Node, announce bool) bool {
+	if !a.detected && !a.cfg.DisableExpectedVelocity {
+		if v, ok := ExpectedVelocity(a.reportSlice()); ok {
+			a.velocity, a.hasVelocity = v, true
+		}
+	}
+	eta := a.currentETA(n)
+	newPred := math.Inf(1)
+	if !math.IsInf(eta, 1) {
+		newPred = n.Now() + eta
+	}
+	old := a.predicted
+	a.predicted = newPred
+	if !announce {
+		return false
+	}
+	return significantChange(old, newPred, a.cfg.SignificantChange, n.Now())
+}
+
+// currentETA aggregates the report table into the node's expected arrival
+// time in seconds from now.
+func (a *Agent) currentETA(n *node.Node) float64 {
+	if a.cfg.UseMeanETA {
+		return MeanETA(n.Pos(), n.Now(), a.reportSlice(), a.cfg.MaxReportAge)
+	}
+	return MinETA(n.Pos(), n.Now(), a.reportSlice(), a.cfg.MaxReportAge)
+}
+
+// significantChange reports whether the predicted arrival moved enough to be
+// worth rebroadcasting: any transition between known and unknown counts, and
+// otherwise the relative change in time-to-arrival must exceed frac.
+func significantChange(old, new, frac, now float64) bool {
+	oldInf := math.IsInf(old, 1)
+	newInf := math.IsInf(new, 1)
+	if oldInf != newInf {
+		return true
+	}
+	if oldInf && newInf {
+		return false
+	}
+	oldETA := old - now
+	newETA := new - now
+	if oldETA < 0 {
+		oldETA = 0
+	}
+	if newETA < 0 {
+		newETA = 0
+	}
+	denom := math.Max(oldETA, 1e-9)
+	return math.Abs(newETA-oldETA)/denom > frac
+}
+
+// sendResponse broadcasts the node's current knowledge.
+func (a *Agent) sendResponse(n *node.Node) {
+	if !n.IsAwake() {
+		return
+	}
+	n.Broadcast(Response{
+		Pos:              n.Pos(),
+		State:            n.State(),
+		Velocity:         a.velocity,
+		HasVelocity:      a.hasVelocity,
+		PredictedArrival: a.predicted,
+		DetectedAt:       a.detectedAt,
+		Detected:         a.detected,
+	})
+}
+
+// reportSlice snapshots the report table in deterministic (ID) order.
+func (a *Agent) reportSlice() []NeighborReport {
+	out := make([]NeighborReport, 0, len(a.reports))
+	for _, r := range a.reports {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+func TestPASCoveredReturnsToSafeOnReceding(t *testing.T) {
+	// Receding stimulus covers (0,0) during [10,15); after dwell + timeout
+	// the PAS node falls back to safe (paper Fig. 3 covered→safe).
+	inner := diffusion.NewRadialFront(geom.V(-10, 0), 1, 0)
+	stim := diffusion.NewReceding(inner, 5)
+	k, m := rig()
+	cfg := testConfig()
+	cfg.DetectionTimeout = 2
+	pas := New(cfg)
+	n := addNode(k, m, 0, geom.V(0, 0), stim, pas)
+	n.Start()
+	k.RunUntil(13)
+	if n.State() != node.StateCovered {
+		t.Fatalf("state at 13 = %v, want covered", n.State())
+	}
+	k.RunUntil(25)
+	if n.State() != node.StateSafe {
+		t.Errorf("state after receding = %v, want safe", n.State())
+	}
+	// The ramp restarted: the node is asleep or in a short probe window.
+	if n.IsAwake() {
+		k.RunUntil(26)
+		if n.IsAwake() {
+			t.Error("node did not resume sleeping after covered→safe")
+		}
+	}
+}
+
+func TestPASCoveredTimeoutAbortsIfStimulusReturns(t *testing.T) {
+	// A stimulus that leaves and returns within the timeout keeps the node
+	// covered. Craft with a MultiSource of two receding fronts whose dwell
+	// windows overlap the timeout gap.
+	a := diffusion.NewReceding(diffusion.NewRadialFront(geom.V(-10, 0), 1, 0), 5)  // covers 10..15
+	b := diffusion.NewReceding(diffusion.NewRadialFront(geom.V(-16, 0), 1, 0), 50) // covers 16..66
+	stim := &unionStim{a: a, b: b}
+	k, m := rig()
+	cfg := testConfig()
+	cfg.DetectionTimeout = 3 // at timeout check (≈18), source b covers again
+	pas := New(cfg)
+	n := addNode(k, m, 0, geom.V(0, 0), stim, pas)
+	n.Start()
+	k.RunUntil(30)
+	if n.State() != node.StateCovered {
+		t.Errorf("state = %v, want covered while the second plume lingers", n.State())
+	}
+}
+
+// unionStim is a minimal two-source union implementing node.Departer via the
+// first source only (so the departure event fires while the second source
+// still covers).
+type unionStim struct {
+	a, b *diffusion.Receding
+}
+
+func (u *unionStim) ArrivalTime(p geom.Vec2) float64 {
+	return math.Min(u.a.ArrivalTime(p), u.b.ArrivalTime(p))
+}
+func (u *unionStim) Covered(p geom.Vec2, t float64) bool {
+	return u.a.Covered(p, t) || u.b.Covered(p, t)
+}
+func (u *unionStim) DepartureTime(p geom.Vec2) float64 { return u.a.DepartureTime(p) }
+
+func TestPASMeanETAVariant(t *testing.T) {
+	k, m := rig()
+	stim := farStimulus()
+	cfg := testConfig()
+	cfg.UseMeanETA = true
+	pas := New(cfg)
+	target := geom.V(0, 0)
+	n := addNode(k, m, 0, target, stim, pas)
+	stub := &stubAgent{onInit: func(sn *node.Node) {
+		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
+			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+		})
+	}}
+	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
+	n.Start()
+	sn.Start()
+	k.RunUntil(0.5)
+	if n.State() != node.StateAlert {
+		t.Errorf("mean-ETA agent state = %v, want alert", n.State())
+	}
+}
+
+func TestPASDisableExpectedVelocity(t *testing.T) {
+	// With expected-velocity propagation disabled, the agent still alerts
+	// from covered reports but records no own velocity until detection.
+	k, m := rig()
+	stim := farStimulus()
+	cfg := testConfig()
+	cfg.DisableExpectedVelocity = true
+	pas := New(cfg)
+	target := geom.V(0, 0)
+	n := addNode(k, m, 0, target, stim, pas)
+	stub := &stubAgent{onInit: func(sn *node.Node) {
+		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
+			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+		})
+	}}
+	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
+	n.Start()
+	sn.Start()
+	k.RunUntil(0.5)
+	if n.State() != node.StateAlert {
+		t.Fatalf("state = %v, want alert", n.State())
+	}
+	if _, ok := pas.Velocity(); ok {
+		t.Error("velocity recorded despite DisableExpectedVelocity")
+	}
+}
+
+func TestPASZeroStaggerRespondsSynchronously(t *testing.T) {
+	k, m := rig()
+	stim := farStimulus()
+	cfg := testConfig()
+	cfg.ResponseStagger = 0
+	pas := New(cfg)
+	target := geom.V(0, 0)
+	n := addNode(k, m, 0, target, stim, pas)
+	stub := &stubAgent{}
+	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
+	k.Schedule(0.01, func(*sim.Kernel) {
+		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+	})
+	k.Schedule(1, func(*sim.Kernel) { sn.Broadcast(Request{}) })
+	n.Start()
+	sn.Start()
+	k.RunUntil(2)
+	responses := 0
+	for _, msg := range stub.got {
+		if _, ok := msg.(Response); ok {
+			responses++
+		}
+	}
+	if responses < 2 {
+		t.Errorf("responses = %d, want >= 2", responses)
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.ResponseWindow = -1
+	New(cfg)
+}
+
+func TestPhaseJitterProperties(t *testing.T) {
+	// Zero amount: factor 1. Over-limit amount clamps to 0.9.
+	if PhaseJitter(3, 7, 0) != 1 {
+		t.Error("zero-amount jitter != 1")
+	}
+	for id := 0; id < 50; id++ {
+		for k := 0; k < 10; k++ {
+			f := PhaseJitter(id, k, 0.25)
+			if f < 0.75 || f > 1.25 {
+				t.Fatalf("jitter(%d,%d) = %v outside [0.75,1.25]", id, k, f)
+			}
+			if f != PhaseJitter(id, k, 0.25) {
+				t.Fatal("jitter not deterministic")
+			}
+			g := PhaseJitter(id, k, 5) // clamped to 0.9
+			if g < 0.1-1e-12 || g > 1.9+1e-12 {
+				t.Fatalf("clamped jitter = %v", g)
+			}
+		}
+	}
+	// Different nodes/cycles decorrelate: not all equal.
+	seen := map[float64]bool{}
+	for id := 0; id < 20; id++ {
+		seen[PhaseJitter(id, 1, 0.25)] = true
+	}
+	if len(seen) < 15 {
+		t.Errorf("jitter collisions: only %d distinct values over 20 nodes", len(seen))
+	}
+}
+
+func TestAlertRespondsWithScheduledStaggerWhileStillAwake(t *testing.T) {
+	// The staggered response is skipped if the node fell asleep meanwhile —
+	// force that path by aging out the report between request and response.
+	k, m := rig()
+	stim := farStimulus()
+	cfg := testConfig()
+	cfg.ResponseStagger = 0.5 // large stagger
+	cfg.MaxReportAge = 0.6
+	cfg.AlertReassess = 0.3
+	pas := New(cfg)
+	target := geom.V(0, 0)
+	n := addNode(k, m, 0, target, stim, pas)
+	stub := &stubAgent{}
+	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
+	k.Schedule(0.01, func(*sim.Kernel) {
+		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+	})
+	// Request lands just before the report ages out; by the time the
+	// staggered response fires the node may have gone safe and asleep.
+	k.Schedule(0.55, func(*sim.Kernel) { sn.Broadcast(Request{}) })
+	n.Start()
+	sn.Start()
+	k.RunUntil(3) // must not panic (no broadcast-while-asleep)
+	_ = radio.NodeID(0)
+}

@@ -1,0 +1,114 @@
+package core
+
+import "fmt"
+
+// Config holds the PAS tunables. The two the paper sweeps are
+// AlertThreshold (Figs. 5 and 7) and SleepMax (Figs. 4 and 6).
+type Config struct {
+	// AlertThreshold is the alert time T_alert in seconds: a node whose
+	// expected arrival time falls below it enters (or stays in) the alert
+	// state. Shrinking it toward zero degenerates PAS into SAS (§3.4).
+	AlertThreshold float64
+	// SleepInit is the first safe-state sleep interval.
+	SleepInit float64
+	// SleepIncrement is Δt, the linear growth of the sleep interval.
+	SleepIncrement float64
+	// SleepMax is the maximum sleeping interval (paper Figs. 4/6 x-axis).
+	SleepMax float64
+	// ResponseWindow is how long a prober waits for RESPONSEs before
+	// deciding its state.
+	ResponseWindow float64
+	// AlertReassess is the period at which an alert node re-evaluates its
+	// prediction (and falls back to safe when the threat recedes).
+	AlertReassess float64
+	// DetectionTimeout is how long a covered node waits after the stimulus
+	// leaves before returning to safe (paper Fig. 3 "detect timeout").
+	DetectionTimeout float64
+	// SignificantChange is the relative change in the predicted arrival
+	// time that triggers an unsolicited RESPONSE rebroadcast (paper §3.2:
+	// "...replies with a RESPONSE message if the difference between the
+	// expectations has changed significantly").
+	SignificantChange float64
+	// MaxReportAge discards neighbour reports older than this; 0 disables.
+	MaxReportAge float64
+	// ResponseStagger spaces concurrent RESPONSEs by a small deterministic
+	// per-node offset to avoid pathological synchronization.
+	ResponseStagger float64
+	// SleepJitter is the relative jitter applied to every sleep interval
+	// (deterministic per node and cycle); it models boot-time and clock
+	// spread and prevents network-wide wake synchronization.
+	SleepJitter float64
+	// MinVelocityDt is the smallest detection-time difference usable by the
+	// actual-velocity estimator; near-simultaneous detections divide a
+	// metre-scale baseline by sensing-latency noise.
+	MinVelocityDt float64
+	// UseMeanETA switches the aggregation from the paper's minimum to a
+	// mean (estimator ablation only).
+	UseMeanETA bool
+	// DisableExpectedVelocity stops alert nodes from computing/propagating
+	// expected velocities (estimator ablation: actual-velocity only).
+	DisableExpectedVelocity bool
+	// Hook, when non-nil, receives agent-internal events for tracing,
+	// debugging and the visualizer. It adds no overhead when nil.
+	Hook *Hook
+}
+
+// Hook exposes agent-internal events to observers (trace collectors, the
+// visualizer, tests). All callbacks are optional.
+type Hook struct {
+	// Velocity fires when a freshly covered node finishes its actual-
+	// velocity computation; ok reports whether any covered neighbour
+	// contributed.
+	Velocity func(id int, vx, vy float64, ok bool)
+	// Decision fires at the end of each safe-node probe window with the
+	// computed expected arrival (eta, seconds from now), the number of
+	// stored reports and the resulting choice.
+	Decision func(id int, eta float64, reports int, alert bool)
+}
+
+// DefaultConfig returns the tunables used by the reproduction's paper-
+// scenario experiments (thresholds and sleep bounds are then swept per
+// figure).
+func DefaultConfig() Config {
+	return Config{
+		AlertThreshold:    20,
+		SleepInit:         1,
+		SleepIncrement:    2,
+		SleepMax:          10,
+		ResponseWindow:    0.25,
+		AlertReassess:     1,
+		DetectionTimeout:  5,
+		SignificantChange: 0.2,
+		MaxReportAge:      45,
+		ResponseStagger:   0.002,
+		SleepJitter:       0.25,
+		MinVelocityDt:     1,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.AlertThreshold < 0:
+		return fmt.Errorf("core: negative alert threshold %g", c.AlertThreshold)
+	case c.SleepInit <= 0 || c.SleepMax <= 0 || c.SleepIncrement < 0:
+		return fmt.Errorf("core: invalid sleep parameters init=%g inc=%g max=%g", c.SleepInit, c.SleepIncrement, c.SleepMax)
+	case c.ResponseWindow <= 0:
+		return fmt.Errorf("core: response window must be positive, got %g", c.ResponseWindow)
+	case c.AlertReassess <= 0:
+		return fmt.Errorf("core: alert reassess period must be positive, got %g", c.AlertReassess)
+	case c.DetectionTimeout <= 0:
+		return fmt.Errorf("core: detection timeout must be positive, got %g", c.DetectionTimeout)
+	case c.SignificantChange < 0:
+		return fmt.Errorf("core: negative significant-change fraction %g", c.SignificantChange)
+	case c.MaxReportAge < 0:
+		return fmt.Errorf("core: negative report age %g", c.MaxReportAge)
+	case c.ResponseStagger < 0:
+		return fmt.Errorf("core: negative response stagger %g", c.ResponseStagger)
+	case c.SleepJitter < 0 || c.SleepJitter > 0.9:
+		return fmt.Errorf("core: sleep jitter %g outside [0, 0.9]", c.SleepJitter)
+	case c.MinVelocityDt < 0:
+		return fmt.Errorf("core: negative minimum velocity dt %g", c.MinVelocityDt)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package core implements the paper's primary contribution: PAS, the
+// Prediction-based Adaptive Sleeping protocol. It contains the two-message
+// REQUEST/RESPONSE wire protocol (§3.2), the spreading-velocity estimators
+// and arrival-time predictor (§3.3), the linearly-increasing sleep schedule
+// and the adaptive agent state machine (§3.4, Fig. 3).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+)
+
+// MsgType discriminates the two PAS message kinds.
+type MsgType uint8
+
+// The PAS wire-protocol message types (paper §3.2).
+const (
+	MsgRequest MsgType = iota + 1
+	MsgResponse
+)
+
+// headerBytes is the on-air overhead per frame (preamble, addressing, CRC) —
+// the 802.15.4 MAC header the Telos radio uses.
+const headerBytes = 11
+
+// Request asks neighbours for their stimulus information. It carries no
+// payload (paper: "This message does not have any payload").
+type Request struct{}
+
+// Size implements radio.Message.
+func (Request) Size() int { return headerBytes + 1 } // header + type tag
+
+// Response carries a sensor's stimulus knowledge (paper: "a sensor's
+// location, state, the estimated spread speed and the predicted arrival time
+// of the stimulus"). DetectedAt is additionally included for covered
+// senders: the actual-velocity formula needs the elapsed time between the
+// neighbours' detections (t_I), which is only computable from the reported
+// detection instant.
+type Response struct {
+	// Pos is the sender's location.
+	Pos geom.Vec2
+	// State is the sender's protocol state.
+	State node.State
+	// Velocity is the sender's spreading-velocity estimate; valid only when
+	// HasVelocity is set.
+	Velocity    geom.Vec2
+	HasVelocity bool
+	// PredictedArrival is the sender's predicted absolute stimulus arrival
+	// time at its own position (+Inf when unknown; the sender's detection
+	// time once covered).
+	PredictedArrival float64
+	// DetectedAt is the absolute time the sender detected the stimulus;
+	// valid only when Detected is set.
+	DetectedAt float64
+	Detected   bool
+}
+
+// responsePayload is the encoded payload length: type tag, flags, 2×2
+// float64 vectors, 2 float64 times, 1 state byte.
+const responsePayload = 1 + 1 + 32 + 16 + 1
+
+// Size implements radio.Message.
+func (Response) Size() int { return headerBytes + responsePayload }
+
+// Encode serializes the response payload (excluding the simulated-only radio
+// header) for codec tests and trace dumps. The simulation itself passes
+// messages by value; Encode/Decode prove the message is wire-realizable.
+func (r Response) Encode() []byte {
+	buf := make([]byte, responsePayload)
+	buf[0] = byte(MsgResponse)
+	var flags byte
+	if r.HasVelocity {
+		flags |= 1
+	}
+	if r.Detected {
+		flags |= 2
+	}
+	buf[1] = flags
+	off := 2
+	for _, f := range []float64{r.Pos.X, r.Pos.Y, r.Velocity.X, r.Velocity.Y, r.PredictedArrival, r.DetectedAt} {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(f))
+		off += 8
+	}
+	buf[off] = byte(r.State)
+	return buf
+}
+
+// DecodeResponse parses a payload produced by Encode.
+func DecodeResponse(buf []byte) (Response, error) {
+	if len(buf) != responsePayload {
+		return Response{}, fmt.Errorf("core: response payload is %d bytes, want %d", len(buf), responsePayload)
+	}
+	if MsgType(buf[0]) != MsgResponse {
+		return Response{}, fmt.Errorf("core: payload type %d is not a response", buf[0])
+	}
+	var r Response
+	flags := buf[1]
+	r.HasVelocity = flags&1 != 0
+	r.Detected = flags&2 != 0
+	vals := make([]float64, 6)
+	off := 2
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	r.Pos = geom.V(vals[0], vals[1])
+	r.Velocity = geom.V(vals[2], vals[3])
+	r.PredictedArrival = vals[4]
+	r.DetectedAt = vals[5]
+	r.State = node.State(buf[off])
+	return r, nil
+}

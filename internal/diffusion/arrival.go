@@ -1,0 +1,131 @@
+package diffusion
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// arrivalField is the shared query machinery for stimuli whose ground truth
+// is a per-cell first-arrival-time grid (the PDE plume and the eikonal
+// terrain front). It provides the Stimulus/FrontModel surface: O(1) arrival
+// lookups with sub-cell interpolation, eikonal-duality front velocities and
+// marching-squares boundary extraction.
+type arrivalField struct {
+	grid    *geom.Grid
+	bounds  geom.Rect
+	arrival []float64 // first arrival per cell; +Inf if never reached
+	start   float64   // stimulus start time (arrival values are absolute)
+	far     float64   // "never" placeholder level for contouring
+}
+
+func newArrivalField(bounds geom.Rect, nx, ny int, start, horizon float64) *arrivalField {
+	g := geom.NewGrid(bounds, nx, ny)
+	f := &arrivalField{
+		grid:    g,
+		bounds:  bounds,
+		arrival: make([]float64, g.Cells()),
+		start:   start,
+		far:     start + horizon*10 + 1,
+	}
+	for i := range f.arrival {
+		f.arrival[i] = Never()
+	}
+	return f
+}
+
+func (f *arrivalField) at(i, j int) float64 { return f.arrival[f.grid.Index(i, j)] }
+
+// ArrivalTime implements the Stimulus ground-truth query with bilinear
+// interpolation when the 2×2 neighbourhood is finite, falling back to the
+// containing cell's value near the frontier.
+func (f *arrivalField) ArrivalTime(q geom.Vec2) float64 {
+	if !f.bounds.Contains(q) {
+		return Never()
+	}
+	i, j := f.grid.Cell(q)
+	center := f.at(i, j)
+	if math.IsInf(center, 1) {
+		return Never()
+	}
+	dx, dy := f.grid.CellSize()
+	fx := (q.X-f.bounds.Min.X)/dx - 0.5
+	fy := (q.Y-f.bounds.Min.Y)/dy - 0.5
+	i0 := int(geom.Clamp(fx, 0, float64(f.grid.NX-1)))
+	j0 := int(geom.Clamp(fy, 0, float64(f.grid.NY-1)))
+	i1, j1 := minInt(i0+1, f.grid.NX-1), minInt(j0+1, f.grid.NY-1)
+	for _, idx := range [4]int{
+		f.grid.Index(i0, j0), f.grid.Index(i1, j0),
+		f.grid.Index(i0, j1), f.grid.Index(i1, j1),
+	} {
+		if math.IsInf(f.arrival[idx], 1) {
+			return center
+		}
+	}
+	return f.grid.Bilinear(f.arrival, q)
+}
+
+// Covered implements the growing-stimulus coverage query.
+func (f *arrivalField) Covered(q geom.Vec2, t float64) bool {
+	return f.ArrivalTime(q) <= t
+}
+
+// FrontVelocity implements the FrontModel query via eikonal duality: the
+// front's normal speed is 1/|∇A| along ∇A, A being the arrival field.
+func (f *arrivalField) FrontVelocity(q geom.Vec2, _ float64) geom.Vec2 {
+	i, j := f.grid.Cell(q)
+	dx, dy := f.grid.CellSize()
+	ax0 := f.at(maxInt(i-1, 0), j)
+	ax1 := f.at(minInt(i+1, f.grid.NX-1), j)
+	ay0 := f.at(i, maxInt(j-1, 0))
+	ay1 := f.at(i, minInt(j+1, f.grid.NY-1))
+	if math.IsInf(ax0, 1) || math.IsInf(ax1, 1) || math.IsInf(ay0, 1) || math.IsInf(ay1, 1) {
+		return geom.Vec2{}
+	}
+	grad := geom.V((ax1-ax0)/(2*dx), (ay1-ay0)/(2*dy))
+	n2 := grad.Norm2()
+	if n2 == 0 {
+		return geom.Vec2{}
+	}
+	return grad.Scale(1 / n2)
+}
+
+// Boundary implements the FrontModel query: the arrival iso-contour at level
+// t via marching squares, thinned to at most n points when n > 0.
+func (f *arrivalField) Boundary(t float64, n int) []geom.Vec2 {
+	if t <= f.start {
+		return nil
+	}
+	level := func(i, j int) float64 {
+		a := f.at(i, j)
+		if math.IsInf(a, 1) {
+			return f.far
+		}
+		return a
+	}
+	var pts []geom.Vec2
+	for j := 0; j < f.grid.NY-1; j++ {
+		for i := 0; i < f.grid.NX-1; i++ {
+			a00 := level(i, j)
+			a10 := level(i+1, j)
+			a01 := level(i, j+1)
+			c00 := f.grid.Center(i, j)
+			c10 := f.grid.Center(i+1, j)
+			c01 := f.grid.Center(i, j+1)
+			if (a00 <= t) != (a10 <= t) {
+				pts = append(pts, c00.Lerp(c10, safeFrac(t, a00, a10)))
+			}
+			if (a00 <= t) != (a01 <= t) {
+				pts = append(pts, c00.Lerp(c01, safeFrac(t, a00, a01)))
+			}
+		}
+	}
+	if n > 0 && len(pts) > n {
+		out := make([]geom.Vec2, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, pts[i*len(pts)/n])
+		}
+		return out
+	}
+	return pts
+}

@@ -1,0 +1,114 @@
+package diffusion
+
+import "repro/internal/geom"
+
+// MultiSource is the union of several stimuli — e.g. simultaneous spills.
+// Arrival is the earliest arrival over the sources, coverage the union.
+type MultiSource struct {
+	Sources []FrontModel
+}
+
+// NewMultiSource builds a union stimulus over the given sources.
+func NewMultiSource(sources ...FrontModel) *MultiSource {
+	return &MultiSource{Sources: sources}
+}
+
+// ArrivalTime implements Stimulus.
+func (m *MultiSource) ArrivalTime(p geom.Vec2) float64 {
+	min := Never()
+	for _, s := range m.Sources {
+		if a := s.ArrivalTime(p); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// Covered implements Stimulus.
+func (m *MultiSource) Covered(p geom.Vec2, t float64) bool {
+	for _, s := range m.Sources {
+		if s.Covered(p, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// FrontVelocity implements FrontModel: the velocity of the source arriving
+// first at p, since that source's front is the one a sensor at p observes.
+func (m *MultiSource) FrontVelocity(p geom.Vec2, t float64) geom.Vec2 {
+	min := Never()
+	var best FrontModel
+	for _, s := range m.Sources {
+		if a := s.ArrivalTime(p); a < min {
+			min, best = a, s
+		}
+	}
+	if best == nil {
+		return geom.Vec2{}
+	}
+	return best.FrontVelocity(p, t)
+}
+
+// Boundary implements FrontModel by concatenating the boundaries of all
+// sources (n points divided among them).
+func (m *MultiSource) Boundary(t float64, n int) []geom.Vec2 {
+	if len(m.Sources) == 0 || n <= 0 {
+		return nil
+	}
+	per := n / len(m.Sources)
+	if per < 8 {
+		per = 8
+	}
+	var pts []geom.Vec2
+	for _, s := range m.Sources {
+		pts = append(pts, s.Boundary(t, per)...)
+	}
+	return pts
+}
+
+// Receding wraps a growing stimulus so that coverage at a point lasts only
+// Dwell seconds after arrival, modelling a plume that blows past — the
+// situation that drives the paper's covered→safe transition ("when the
+// stimulus moves away from a covered sensor").
+type Receding struct {
+	Inner FrontModel
+	Dwell float64
+}
+
+// NewReceding wraps inner with a finite dwell time; dwell must be positive.
+func NewReceding(inner FrontModel, dwell float64) *Receding {
+	if dwell <= 0 {
+		panic("diffusion: receding dwell must be positive")
+	}
+	return &Receding{Inner: inner, Dwell: dwell}
+}
+
+// ArrivalTime implements Stimulus.
+func (r *Receding) ArrivalTime(p geom.Vec2) float64 { return r.Inner.ArrivalTime(p) }
+
+// DepartureTime returns the time the stimulus leaves p (+Inf if it never
+// arrives).
+func (r *Receding) DepartureTime(p geom.Vec2) float64 {
+	a := r.Inner.ArrivalTime(p)
+	if a == Never() {
+		return Never()
+	}
+	return a + r.Dwell
+}
+
+// Covered implements Stimulus: covered during [arrival, arrival+Dwell).
+func (r *Receding) Covered(p geom.Vec2, t float64) bool {
+	a := r.Inner.ArrivalTime(p)
+	return t >= a && t < a+r.Dwell
+}
+
+// FrontVelocity implements FrontModel.
+func (r *Receding) FrontVelocity(p geom.Vec2, t float64) geom.Vec2 {
+	return r.Inner.FrontVelocity(p, t)
+}
+
+// Boundary implements FrontModel (the advancing edge only).
+func (r *Receding) Boundary(t float64, n int) []geom.Vec2 {
+	return r.Inner.Boundary(t, n)
+}

@@ -1,0 +1,305 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// RadialFront is the simplest diffusion stimulus: a disc growing from Origin
+// at constant Speed, beginning at time Start. It is the workhorse model for
+// the paper's Figs. 4–7 experiments, where exact ground truth is required.
+type RadialFront struct {
+	Origin geom.Vec2
+	Speed  float64 // m/s, must be positive
+	Start  float64 // virtual time the spill begins
+}
+
+// NewRadialFront constructs a constant-speed circular front. It panics on a
+// non-positive speed, which would make arrival times meaningless.
+func NewRadialFront(origin geom.Vec2, speed, start float64) *RadialFront {
+	if speed <= 0 {
+		panic(fmt.Sprintf("diffusion: radial front speed must be positive, got %g", speed))
+	}
+	return &RadialFront{Origin: origin, Speed: speed, Start: start}
+}
+
+// ArrivalTime implements Stimulus.
+func (f *RadialFront) ArrivalTime(p geom.Vec2) float64 {
+	return f.Start + p.Dist(f.Origin)/f.Speed
+}
+
+// Covered implements Stimulus.
+func (f *RadialFront) Covered(p geom.Vec2, t float64) bool { return grownCovered(f, p, t) }
+
+// FrontVelocity implements FrontModel: the front spreads radially at Speed.
+// At the origin itself the direction is undefined and the zero vector is
+// returned.
+func (f *RadialFront) FrontVelocity(p geom.Vec2, _ float64) geom.Vec2 {
+	return p.Sub(f.Origin).Normalize().Scale(f.Speed)
+}
+
+// Boundary implements FrontModel.
+func (f *RadialFront) Boundary(t float64, n int) []geom.Vec2 {
+	r := (t - f.Start) * f.Speed
+	if r <= 0 || n <= 0 {
+		return nil
+	}
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = f.Origin.Add(geom.Polar(r, theta))
+	}
+	return pts
+}
+
+// Harmonic is one angular harmonic of an anisotropic speed profile.
+type Harmonic struct {
+	K     int     // angular frequency (cycles per revolution)
+	Amp   float64 // relative amplitude
+	Phase float64 // radians
+}
+
+// AnisotropicFront grows radially with a direction-dependent speed
+//
+//	v(θ) = v0 · max(ε, 1 + Σ_h Amp_h·cos(K_h·θ + Phase_h)),
+//
+// producing the irregular, non-circular alert areas of the paper's Fig. 2
+// ("the ALERT area is an irregular shape rather than a circle because the
+// spreading rate of the stimulus may vary in different directions").
+type AnisotropicFront struct {
+	Origin    geom.Vec2
+	BaseSpeed float64
+	Start     float64
+	Harmonics []Harmonic
+
+	minFactor float64 // floor on the speed factor, keeps v(θ) positive
+}
+
+// NewAnisotropicFront builds an anisotropic front; base speed must be
+// positive. The combined harmonic amplitude is clamped so the speed never
+// drops below 10% of the base speed.
+func NewAnisotropicFront(origin geom.Vec2, base, start float64, harmonics []Harmonic) *AnisotropicFront {
+	if base <= 0 {
+		panic(fmt.Sprintf("diffusion: anisotropic base speed must be positive, got %g", base))
+	}
+	return &AnisotropicFront{
+		Origin:    origin,
+		BaseSpeed: base,
+		Start:     start,
+		Harmonics: harmonics,
+		minFactor: 0.1,
+	}
+}
+
+// RandomAnisotropicFront draws a smooth random speed profile with the given
+// irregularity in [0, 1) spread over harmonics 1..maxK, using the provided
+// stream. irregularity 0 reduces to a circular front.
+func RandomAnisotropicFront(st *rng.Stream, origin geom.Vec2, base, start, irregularity float64, maxK int) *AnisotropicFront {
+	if maxK < 1 {
+		maxK = 1
+	}
+	irregularity = geom.Clamp(irregularity, 0, 0.95)
+	hs := make([]Harmonic, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		hs = append(hs, Harmonic{
+			K:     k,
+			Amp:   irregularity / float64(maxK) * st.Uniform(0.5, 1),
+			Phase: st.Uniform(0, 2*math.Pi),
+		})
+	}
+	return NewAnisotropicFront(origin, base, start, hs)
+}
+
+// SpeedAt returns the spreading speed in direction θ.
+func (f *AnisotropicFront) SpeedAt(theta float64) float64 {
+	factor := 1.0
+	for _, h := range f.Harmonics {
+		factor += h.Amp * math.Cos(float64(h.K)*theta+h.Phase)
+	}
+	if factor < f.minFactor {
+		factor = f.minFactor
+	}
+	return f.BaseSpeed * factor
+}
+
+// ArrivalTime implements Stimulus: along each ray the front moves at the
+// constant per-direction speed, so arrival is distance over SpeedAt.
+func (f *AnisotropicFront) ArrivalTime(p geom.Vec2) float64 {
+	d := p.Sub(f.Origin)
+	r := d.Norm()
+	if r == 0 {
+		return f.Start
+	}
+	return f.Start + r/f.SpeedAt(d.Angle())
+}
+
+// Covered implements Stimulus.
+func (f *AnisotropicFront) Covered(p geom.Vec2, t float64) bool { return grownCovered(f, p, t) }
+
+// FrontVelocity implements FrontModel. The radial direction approximates the
+// boundary normal for mild anisotropy, which is the regime the paper's
+// assumption "stimulus spreads along the normal direction of the boundary"
+// describes.
+func (f *AnisotropicFront) FrontVelocity(p geom.Vec2, _ float64) geom.Vec2 {
+	d := p.Sub(f.Origin)
+	if d.Norm() == 0 {
+		return geom.Vec2{}
+	}
+	return d.Normalize().Scale(f.SpeedAt(d.Angle()))
+}
+
+// Boundary implements FrontModel.
+func (f *AnisotropicFront) Boundary(t float64, n int) []geom.Vec2 {
+	dt := t - f.Start
+	if dt <= 0 || n <= 0 {
+		return nil
+	}
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = f.Origin.Add(geom.Polar(f.SpeedAt(theta)*dt, theta))
+	}
+	return pts
+}
+
+// AdvectedFront is a disc that both grows at GrowthSpeed and drifts with a
+// constant Drift velocity (wind or current): at elapsed time s its boundary
+// is the circle of radius GrowthSpeed·s centered at Origin + Drift·s. It
+// models the paper's "noxious gas" emergency scenario. When |Drift| >=
+// GrowthSpeed, points up-wind of the source are never covered.
+type AdvectedFront struct {
+	Origin      geom.Vec2
+	GrowthSpeed float64
+	Drift       geom.Vec2
+	Start       float64
+}
+
+// NewAdvectedFront constructs a drifting front; growth speed must be
+// positive.
+func NewAdvectedFront(origin geom.Vec2, growth float64, drift geom.Vec2, start float64) *AdvectedFront {
+	if growth <= 0 {
+		panic(fmt.Sprintf("diffusion: advected front growth speed must be positive, got %g", growth))
+	}
+	return &AdvectedFront{Origin: origin, GrowthSpeed: growth, Drift: drift, Start: start}
+}
+
+// coverageInterval returns the elapsed-time window [sIn, sOut] during which
+// the front covers p (sOut = +Inf when coverage is permanent; sIn = +Inf
+// when p is never covered). Coverage at elapsed s requires
+// |d − Drift·s| <= GrowthSpeed·s with d = p − Origin, i.e. s between the
+// roots of (|w|²−v²)s² − 2(d·w)s + |d|² = 0. Deriving ArrivalTime and
+// Covered from this single computation keeps them bit-exact consistent at
+// the arrival instant, which the sensing model depends on.
+func (f *AdvectedFront) coverageInterval(p geom.Vec2) (sIn, sOut float64) {
+	d := p.Sub(f.Origin)
+	v := f.GrowthSpeed
+	w := f.Drift
+	a := w.Norm2() - v*v
+	b := -2 * d.Dot(w)
+	c := d.Norm2()
+	if c == 0 {
+		// At the origin: covered from the start; uncovered again only when
+		// the drift outruns the growth.
+		if a > 0 {
+			return 0, -b / a // larger root of a·s² + b·s = 0
+		}
+		return 0, Never()
+	}
+	switch {
+	case a < 0:
+		// Growth outpaces drift: the parabola opens downward, f(0) = c > 0,
+		// so coverage begins at the positive root and is permanent.
+		disc := b*b - 4*a*c
+		sq := math.Sqrt(disc)
+		s2 := (-b - sq) / (2 * a) // the larger root when dividing by a<0
+		return s2, Never()
+	case a == 0:
+		// |w| == v: linear equation b·s + c <= 0.
+		if b >= 0 {
+			return Never(), Never() // front keeps pace but never catches p
+		}
+		return c / (-b), Never()
+	default:
+		// Drift outruns growth: coverage holds between the roots (if any) —
+		// the plume blows past.
+		disc := b*b - 4*a*c
+		if disc < 0 {
+			return Never(), Never()
+		}
+		sq := math.Sqrt(disc)
+		s1 := (-b - sq) / (2 * a)
+		s2 := (-b + sq) / (2 * a)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		if s2 < 0 {
+			return Never(), Never()
+		}
+		if s1 < 0 {
+			s1 = 0
+		}
+		return s1, s2
+	}
+}
+
+// ArrivalTime implements Stimulus.
+func (f *AdvectedFront) ArrivalTime(p geom.Vec2) float64 {
+	sIn, _ := f.coverageInterval(p)
+	if math.IsInf(sIn, 1) {
+		return Never()
+	}
+	return f.Start + sIn
+}
+
+// DepartureTime reports when the front uncovers p again (+Inf when coverage
+// is permanent or never happens); it implements the node runtime's Departer
+// interface so fast-wind plumes trigger covered→safe transitions.
+func (f *AdvectedFront) DepartureTime(p geom.Vec2) float64 {
+	sIn, sOut := f.coverageInterval(p)
+	if math.IsInf(sIn, 1) || math.IsInf(sOut, 1) {
+		return Never()
+	}
+	return f.Start + sOut
+}
+
+// Covered implements Stimulus, bit-exact consistent with ArrivalTime and
+// DepartureTime.
+func (f *AdvectedFront) Covered(p geom.Vec2, t float64) bool {
+	s := t - f.Start
+	if s < 0 {
+		return false
+	}
+	sIn, sOut := f.coverageInterval(p)
+	return s >= sIn && s <= sOut
+}
+
+// FrontVelocity implements FrontModel: a boundary point in the direction of
+// p moves with the drift plus the radial growth.
+func (f *AdvectedFront) FrontVelocity(p geom.Vec2, t float64) geom.Vec2 {
+	s := t - f.Start
+	if s < 0 {
+		s = 0
+	}
+	center := f.Origin.Add(f.Drift.Scale(s))
+	n := p.Sub(center).Normalize()
+	return f.Drift.Add(n.Scale(f.GrowthSpeed))
+}
+
+// Boundary implements FrontModel.
+func (f *AdvectedFront) Boundary(t float64, n int) []geom.Vec2 {
+	s := t - f.Start
+	if s <= 0 || n <= 0 {
+		return nil
+	}
+	center := f.Origin.Add(f.Drift.Scale(s))
+	r := f.GrowthSpeed * s
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = center.Add(geom.Polar(r, theta))
+	}
+	return pts
+}

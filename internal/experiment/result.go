@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one x position on a result curve with its mean y and 95% CI
+// half-width.
+type Point struct {
+	X, Y, CI float64
+}
+
+// Curve is one named series of a figure (e.g. one protocol).
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Result is a regenerated table or figure: a set of curves over a shared
+// x-axis, plus free-form notes (assumption records, shape observations).
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+	Notes  []string
+	// Extra carries preformatted content for non-curve results (Table 1).
+	Extra string
+}
+
+// Curve returns the named curve and whether it exists.
+func (r Result) Curve(name string) (Curve, bool) {
+	for _, c := range r.Curves {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Curve{}, false
+}
+
+// Ys returns the y values of a curve in x order.
+func (c Curve) Ys() []float64 {
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// Xs returns the x values of a curve.
+func (c Curve) Xs() []float64 {
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = p.X
+	}
+	return out
+}
+
+// Render formats the result as a fixed-width text table, one row per x
+// value, one column per curve, in the style of the paper's figures.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	if r.Extra != "" {
+		b.WriteString(r.Extra)
+	}
+	if len(r.Curves) > 0 {
+		// Collect the union of x values in order.
+		xsSet := map[float64]bool{}
+		for _, c := range r.Curves {
+			for _, p := range c.Points {
+				xsSet[p.X] = true
+			}
+		}
+		xs := make([]float64, 0, len(xsSet))
+		for x := range xsSet {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+
+		fmt.Fprintf(&b, "%-14s", r.XLabel)
+		for _, c := range r.Curves {
+			fmt.Fprintf(&b, " %-18s", c.Name)
+		}
+		fmt.Fprintf(&b, "   [%s]\n", r.YLabel)
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%-14.3g", x)
+			for _, c := range r.Curves {
+				cell := strings.Repeat(" ", 18)
+				for _, p := range c.Points {
+					if p.X == x {
+						cell = fmt.Sprintf("%8.4g ± %-7.2g", p.Y, p.CI)
+					}
+				}
+				fmt.Fprintf(&b, " %-18s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV formats the result as long-form CSV: id,series,x,y,ci.
+func (r Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,series,x,y,ci95\n")
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%s,%s,%g,%g,%g\n", r.ID, c.Name, p.X, p.Y, p.CI)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+// Package experiment is the reproduction harness: it wires scenarios,
+// deployments and protocol agents into replicated simulation runs and
+// regenerates every table and figure of the paper's evaluation (§4) plus the
+// extension experiments listed in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/diffusion"
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sas"
+)
+
+// Protocol names accepted by RunConfig.
+const (
+	ProtoPAS  = "pas"
+	ProtoSAS  = "sas"
+	ProtoNS   = "ns"
+	ProtoDuty = "duty"
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Scenario supplies the field, stimulus and horizon.
+	Scenario diffusion.Scenario
+	// Nodes is the deployment size (the paper uses 30).
+	Nodes int
+	// Range is the transmission range in metres (the paper uses 10).
+	Range float64
+	// Protocol selects the sleeping strategy: pas, sas, ns or duty.
+	Protocol string
+	// PAS/SAS hold the protocol tunables when the respective protocol runs.
+	PAS core.Config
+	SAS sas.Config
+	// DutyPeriod/DutyOn parameterize the duty-cycling strawman.
+	DutyPeriod, DutyOn float64
+	// Seed drives deployment, channel and failure randomness.
+	Seed int64
+	// Loss overrides the channel model (default: unit disk at Range).
+	Loss radio.LossModel
+	// Collisions enables destructive collision modelling.
+	Collisions bool
+	// CSMA, when non-nil, enables carrier-sense multiple access.
+	CSMA *radio.CSMAConfig
+	// FailFraction kills that fraction of nodes at random times in
+	// [0, FailBy] (FailBy 0 = the horizon).
+	FailFraction float64
+	FailBy       float64
+	// BatteryJ, when positive, gives every node a finite energy budget in
+	// joules; nodes die when they exhaust it (the lifetime experiments).
+	BatteryJ float64
+}
+
+// Defaults fills zero fields with the paper's §4.2 setup (30 nodes, 10 m
+// range, Telos power model, PAS defaults).
+func (rc RunConfig) Defaults() RunConfig {
+	if rc.Nodes == 0 {
+		rc.Nodes = 30
+	}
+	if rc.Range == 0 {
+		rc.Range = 10
+	}
+	if rc.Protocol == "" {
+		rc.Protocol = ProtoPAS
+	}
+	if rc.PAS == (core.Config{}) {
+		rc.PAS = core.DefaultConfig()
+	}
+	if rc.SAS == (sas.Config{}) {
+		rc.SAS = sas.DefaultConfig()
+	}
+	if rc.DutyPeriod == 0 {
+		rc.DutyPeriod = 10
+	}
+	if rc.DutyOn == 0 {
+		rc.DutyOn = 1
+	}
+	if rc.Scenario.Stimulus == nil {
+		rc.Scenario = diffusion.PaperScenario()
+	}
+	return rc
+}
+
+// agents returns the per-node agent factory for the configured protocol.
+func (rc RunConfig) agents() (func(radio.NodeID) node.Agent, error) {
+	switch rc.Protocol {
+	case ProtoPAS:
+		cfg := rc.PAS
+		return func(radio.NodeID) node.Agent { return core.New(cfg) }, nil
+	case ProtoSAS:
+		cfg := rc.SAS
+		return func(radio.NodeID) node.Agent { return sas.New(cfg) }, nil
+	case ProtoNS:
+		return func(radio.NodeID) node.Agent { return baseline.NewNS() }, nil
+	case ProtoDuty:
+		period, on := rc.DutyPeriod, rc.DutyOn
+		return func(radio.NodeID) node.Agent { return baseline.NewDutyCycle(period, on) }, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %q", rc.Protocol)
+	}
+}
+
+// Build assembles the network for a run config without running it, so
+// callers can attach observers (contour estimators, state logs) before the
+// simulation starts. It returns the network and the defaulted config.
+func Build(rc RunConfig) (*node.Network, RunConfig, error) {
+	rc = rc.Defaults()
+	agents, err := rc.agents()
+	if err != nil {
+		return nil, rc, err
+	}
+	src := rng.NewSource(rc.Seed)
+	dep := deploy.ConnectedUniform(src.Stream("deploy"), rc.Scenario.Field, rc.Nodes, rc.Range, 2000)
+	loss := rc.Loss
+	if loss == nil {
+		loss = radio.UnitDisk{Range: rc.Range}
+	}
+	nw := node.BuildNetwork(node.NetworkConfig{
+		Deployment:    dep,
+		Stimulus:      rc.Scenario.Stimulus,
+		Profile:       energy.Telos(),
+		Loss:          loss,
+		Agents:        agents,
+		ChannelStream: src.Stream("channel"),
+		Collisions:    rc.Collisions,
+		CSMA:          rc.CSMA,
+	})
+	if rc.BatteryJ > 0 {
+		for _, n := range nw.Nodes {
+			n.SetBattery(rc.BatteryJ)
+		}
+	}
+	if rc.FailFraction > 0 {
+		failBy := rc.FailBy
+		if failBy <= 0 {
+			failBy = rc.Scenario.Horizon
+		}
+		st := src.Stream("failures")
+		kill := int(math.Round(rc.FailFraction * float64(len(nw.Nodes))))
+		for _, idx := range st.Perm(len(nw.Nodes))[:kill] {
+			nw.Nodes[idx].FailAt(st.Uniform(0, failBy))
+		}
+	}
+	return nw, rc, nil
+}
+
+// RunOnce executes one simulation and collects its metrics.
+func RunOnce(rc RunConfig) (metrics.RunReport, error) {
+	nw, rc, err := Build(rc)
+	if err != nil {
+		return metrics.RunReport{}, err
+	}
+	nw.Run(rc.Scenario.Horizon)
+	return metrics.Collect(nw.Nodes, rc.Scenario.Horizon), nil
+}
+
+// Replicate runs the config once per seed and aggregates the headline
+// metrics.
+func Replicate(rc RunConfig, seeds []int64) (metrics.Aggregate, error) {
+	var agg metrics.Aggregate
+	for _, seed := range seeds {
+		rc.Seed = seed
+		rep, err := RunOnce(rc)
+		if err != nil {
+			return agg, err
+		}
+		agg.Add(rep)
+	}
+	return agg, nil
+}
+
+// DefaultSeeds returns n deterministic replication seeds.
+func DefaultSeeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// lossyAt builds the lossy-disk channel used by the imperfect-channel
+// experiments and tests.
+func lossyAt(r, p float64) radio.LossyDisk {
+	return radio.LossyDisk{Range: r, LossProb: p}
+}

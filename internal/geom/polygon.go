@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Polyline is an open chain of vertices.
+type Polyline []Vec2
+
+// Length returns the total arc length of the polyline.
+func (p Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(p); i++ {
+		l += p[i-1].Dist(p[i])
+	}
+	return l
+}
+
+// ClosestPoint returns the point on the polyline closest to q, the distance,
+// and the index of the segment on which it lies. An empty polyline returns
+// the zero vector, +Inf and -1.
+func (p Polyline) ClosestPoint(q Vec2) (Vec2, float64, int) {
+	if len(p) == 0 {
+		return Vec2{}, math.Inf(1), -1
+	}
+	if len(p) == 1 {
+		return p[0], p[0].Dist(q), 0
+	}
+	best := Vec2{}
+	bestD := math.Inf(1)
+	bestI := -1
+	for i := 1; i < len(p); i++ {
+		pt, _ := (Segment{p[i-1], p[i]}).ClosestPoint(q)
+		if d := pt.Dist(q); d < bestD {
+			best, bestD, bestI = pt, d, i-1
+		}
+	}
+	return best, bestD, bestI
+}
+
+// Resample returns n points spaced uniformly by arc length along the
+// polyline. n must be at least 2 and the polyline non-empty; degenerate
+// inputs return a copy of what is available.
+func (p Polyline) Resample(n int) Polyline {
+	if len(p) == 0 || n <= 0 {
+		return nil
+	}
+	if len(p) == 1 || n == 1 {
+		return Polyline{p[0]}
+	}
+	total := p.Length()
+	if total == 0 {
+		out := make(Polyline, n)
+		for i := range out {
+			out[i] = p[0]
+		}
+		return out
+	}
+	out := make(Polyline, 0, n)
+	step := total / float64(n-1)
+	out = append(out, p[0])
+	seg := 1
+	acc := 0.0
+	for i := 1; i < n-1; i++ {
+		target := float64(i) * step
+		for seg < len(p) {
+			segLen := p[seg-1].Dist(p[seg])
+			if acc+segLen >= target || seg == len(p)-1 {
+				t := 0.0
+				if segLen > 0 {
+					t = Clamp((target-acc)/segLen, 0, 1)
+				}
+				out = append(out, p[seg-1].Lerp(p[seg], t))
+				break
+			}
+			acc += segLen
+			seg++
+		}
+	}
+	out = append(out, p[len(p)-1])
+	return out
+}
+
+// Polygon is a closed simple polygon; the edge from the last vertex back to
+// the first is implicit.
+type Polygon []Vec2
+
+// Area returns the signed area of the polygon (positive for counter-clockwise
+// winding).
+func (pg Polygon) Area() float64 {
+	var a float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += pg[i].Cross(pg[j])
+	}
+	return a / 2
+}
+
+// Centroid returns the area centroid of the polygon. Degenerate polygons
+// (zero area) return the vertex mean.
+func (pg Polygon) Centroid() Vec2 {
+	a := pg.Area()
+	if a == 0 {
+		var m Vec2
+		if len(pg) == 0 {
+			return m
+		}
+		for _, v := range pg {
+			m = m.Add(v)
+		}
+		return m.Scale(1 / float64(len(pg)))
+	}
+	var c Vec2
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		w := pg[i].Cross(pg[j])
+		c = c.Add(pg[i].Add(pg[j]).Scale(w))
+	}
+	return c.Scale(1 / (6 * a))
+}
+
+// Contains reports whether p lies inside the polygon using the even-odd
+// crossing rule. Points exactly on an edge may report either side.
+func (pg Polygon) Contains(p Vec2) bool {
+	inside := false
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg[i], pg[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Perimeter returns the closed boundary length of the polygon.
+func (pg Polygon) Perimeter() float64 {
+	var l float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		l += pg[i].Dist(pg[(i+1)%n])
+	}
+	return l
+}
+
+// ConvexHull returns the convex hull of the given points in counter-clockwise
+// order (Andrew's monotone chain). Fewer than three distinct points return
+// the distinct points themselves.
+func ConvexHull(pts []Vec2) Polygon {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Vec2, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return Polygon(uniq)
+	}
+	var hull []Vec2
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Polygon(hull[:len(hull)-1])
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,204 @@
+// Package metrics collects the paper's two evaluation metrics — average
+// detection delay and average per-node energy consumption (§4.1) — plus the
+// supporting observables (state residency, message counts, duty cycle) the
+// extension experiments report.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/node"
+	"repro/internal/stats"
+)
+
+// NodeReport is the per-node outcome of one simulation run.
+type NodeReport struct {
+	ID            int
+	Arrival       float64 // ground-truth arrival (+Inf if never)
+	DetectedAt    float64
+	Detected      bool
+	Delay         float64 // DetectedAt − Arrival, valid when Detected
+	EnergyJ       float64
+	DutyCycle     float64
+	TxCount       int
+	RxCount       int
+	SafeSec       float64
+	AlertSec      float64
+	CoveredSec    float64
+	Failed        bool
+	BatteryDead   bool    // failure caused by battery exhaustion
+	DiedAt        float64 // battery-death instant, valid when BatteryDead
+	MissedForever bool    // arrival within horizon but never detected
+}
+
+// RunReport aggregates one simulation run.
+type RunReport struct {
+	Nodes   []NodeReport
+	Horizon float64
+
+	// AvgDelay is the paper's average detection delay: the mean elapsed
+	// time between true arrival and detection over nodes that detected.
+	AvgDelay float64
+	// MaxDelay is the worst detection delay.
+	MaxDelay float64
+	// P95Delay is the 95th-percentile delay.
+	P95Delay float64
+	// AvgEnergyJ is the paper's average energy consumption per sensor.
+	AvgEnergyJ float64
+	// Detected and Reached count nodes that detected vs nodes the stimulus
+	// truly reached within the horizon.
+	Detected int
+	Reached  int
+	// Missed counts reached-but-undetected nodes (sensing failures).
+	Missed int
+	// Messages is the total number of broadcasts across the network.
+	Messages int
+	// AvgDuty is the mean awake fraction.
+	AvgDuty float64
+	// BatteryDeaths counts nodes that exhausted their energy budget;
+	// FirstDeath is the earliest such instant (+Inf when none died).
+	BatteryDeaths int
+	FirstDeath    float64
+}
+
+// Collect builds a RunReport from a finished network. Horizon must match the
+// Run horizon so residency fractions are meaningful.
+func Collect(nodes []*node.Node, horizon float64) RunReport {
+	rep := RunReport{Horizon: horizon, FirstDeath: math.Inf(1)}
+	var delays []float64
+	var energySum, dutySum float64
+	for _, n := range nodes {
+		res := n.StateResidency()
+		b := n.Meter().Breakdown()
+		nr := NodeReport{
+			ID:         int(n.ID()),
+			Arrival:    n.TrueArrival(),
+			EnergyJ:    n.Meter().TotalJ(),
+			DutyCycle:  b.DutyCycle(),
+			TxCount:    n.TxCount(),
+			RxCount:    n.RxCount(),
+			SafeSec:    res[node.StateSafe],
+			AlertSec:   res[node.StateAlert],
+			CoveredSec: res[node.StateCovered],
+			Failed:     n.Failed(),
+		}
+		if at, dead := n.BatteryDead(); dead {
+			nr.BatteryDead = true
+			nr.DiedAt = at
+			rep.BatteryDeaths++
+			if at < rep.FirstDeath {
+				rep.FirstDeath = at
+			}
+		}
+		if at, ok := n.Detected(); ok {
+			nr.Detected = true
+			nr.DetectedAt = at
+			nr.Delay = at - nr.Arrival
+			delays = append(delays, nr.Delay)
+			rep.Detected++
+		}
+		if nr.Arrival <= horizon {
+			rep.Reached++
+			if !nr.Detected {
+				nr.MissedForever = true
+				rep.Missed++
+			}
+		}
+		rep.Messages += nr.TxCount
+		energySum += nr.EnergyJ
+		dutySum += nr.DutyCycle
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	if len(delays) > 0 {
+		rep.AvgDelay = stats.Mean(delays)
+		rep.MaxDelay = maxOf(delays)
+		rep.P95Delay = stats.Percentile(delays, 95)
+	}
+	if len(nodes) > 0 {
+		rep.AvgEnergyJ = energySum / float64(len(nodes))
+		rep.AvgDuty = dutySum / float64(len(nodes))
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].ID < rep.Nodes[j].ID })
+	return rep
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String implements fmt.Stringer with a one-line run summary.
+func (r RunReport) String() string {
+	return fmt.Sprintf("delay %.3fs (p95 %.3f, max %.3f) energy %.4g J/node duty %.1f%% detected %d/%d msgs %d",
+		r.AvgDelay, r.P95Delay, r.MaxDelay, r.AvgEnergyJ, 100*r.AvgDuty, r.Detected, r.Reached, r.Messages)
+}
+
+// Table renders the per-node breakdown as a fixed-width text table.
+func (r RunReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %9s %9s %8s %9s %6s %5s %5s %7s %7s %7s\n",
+		"node", "arrival", "detected", "delay", "energy(J)", "duty%", "tx", "rx", "safe", "alert", "covered")
+	for _, n := range r.Nodes {
+		det, delay := "-", "-"
+		if n.Detected {
+			det = fmt.Sprintf("%.2f", n.DetectedAt)
+			delay = fmt.Sprintf("%.3f", n.Delay)
+		}
+		arr := "never"
+		if !math.IsInf(n.Arrival, 1) {
+			arr = fmt.Sprintf("%.2f", n.Arrival)
+		}
+		fmt.Fprintf(&b, "%4d %9s %9s %8s %9.4f %6.1f %5d %5d %7.1f %7.1f %7.1f\n",
+			n.ID, arr, det, delay, n.EnergyJ, 100*n.DutyCycle, n.TxCount, n.RxCount,
+			n.SafeSec, n.AlertSec, n.CoveredSec)
+	}
+	return b.String()
+}
+
+// Aggregate accumulates the headline metrics across replicated runs.
+type Aggregate struct {
+	Delay  stats.Accumulator
+	Energy stats.Accumulator
+	Duty   stats.Accumulator
+	Missed stats.Accumulator
+	Msgs   stats.Accumulator
+	MaxDel stats.Accumulator
+	// Deaths counts battery exhaustions per run; FirstDeath accumulates the
+	// first-death instant, right-censored at the run horizon when no node
+	// died (lifetime is then at least the horizon).
+	Deaths     stats.Accumulator
+	FirstDeath stats.Accumulator
+}
+
+// Add folds in one run.
+func (a *Aggregate) Add(r RunReport) {
+	a.Delay.Add(r.AvgDelay)
+	a.Energy.Add(r.AvgEnergyJ)
+	a.Duty.Add(r.AvgDuty)
+	a.Missed.Add(float64(r.Missed))
+	a.Msgs.Add(float64(r.Messages))
+	a.MaxDel.Add(r.MaxDelay)
+	a.Deaths.Add(float64(r.BatteryDeaths))
+	if math.IsInf(r.FirstDeath, 1) {
+		a.FirstDeath.Add(r.Horizon) // right-censored: everyone survived
+	} else {
+		a.FirstDeath.Add(r.FirstDeath)
+	}
+}
+
+// N returns the number of runs folded in.
+func (a *Aggregate) N() int { return a.Delay.N() }
+
+// String implements fmt.Stringer.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("delay %s s | energy %s J | duty %.1f%% | runs %d",
+		a.Delay.String(), a.Energy.String(), 100*a.Duty.Mean(), a.N())
+}

@@ -1,0 +1,129 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+func TestBatteryKillsAlwaysOnNodeOnSchedule(t *testing.T) {
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
+	k, m := testRig(stim)
+	a := &scriptAgent{}
+	n := newNode(k, m, 0, geom.V(50, 50), stim, a)
+	// Always-on draw is 41 mW → a 0.41 J budget dies at exactly t=10.
+	n.SetBattery(0.41)
+	n.Start()
+	k.RunUntil(100)
+	diedAt, dead := n.BatteryDead()
+	if !dead {
+		t.Fatal("node never died of battery")
+	}
+	if math.Abs(diedAt-10) > 1e-6 {
+		t.Errorf("died at %v, want 10", diedAt)
+	}
+	if !n.Failed() {
+		t.Error("battery death did not mark failure")
+	}
+	// Consumed energy equals the budget.
+	if got := n.Meter().TotalJ(); math.Abs(got-0.41) > 1e-9 {
+		t.Errorf("consumed %v J, want 0.41", got)
+	}
+}
+
+func TestBatteryLastsLongerWhenSleeping(t *testing.T) {
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
+	k, m := testRig(stim)
+	// Sleeps 90 of every ~100 s.
+	a := &scriptAgent{}
+	a.onInit = func(n *Node) { n.Sleep(90) }
+	a.onWake = func(n *Node) {
+		// Stay awake ~10 s, then nap again.
+		n.Kernel().Schedule(10, func(*sim.Kernel) {
+			if n.IsAwake() {
+				n.Sleep(90)
+			}
+		})
+	}
+	n := newNode(k, m, 0, geom.V(50, 50), stim, a)
+	n.SetBattery(0.41)
+	n.Start()
+	k.RunUntil(5000)
+	diedAt, dead := n.BatteryDead()
+	if !dead {
+		// May legitimately still be alive; then it must have outlived the
+		// always-on node's 10 s by a wide margin in consumed energy.
+		if n.Meter().TotalJ() > 0.41 {
+			t.Fatalf("meter %v exceeded budget without death", n.Meter().TotalJ())
+		}
+		return
+	}
+	// Sleeping 90 s first, the same budget lasts ~100 s instead of 10.
+	if diedAt < 50 {
+		t.Errorf("sleepy node died at %v, want ≫ 10", diedAt)
+	}
+}
+
+func TestBatteryDisabled(t *testing.T) {
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
+	k, m := testRig(stim)
+	n := newNode(k, m, 0, geom.V(50, 50), stim, &scriptAgent{})
+	n.SetBattery(0) // disabled
+	n.Start()
+	k.RunUntil(1000)
+	if _, dead := n.BatteryDead(); dead {
+		t.Error("disabled battery killed the node")
+	}
+}
+
+func TestBatteryAlreadyExhausted(t *testing.T) {
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
+	k, m := testRig(stim)
+	n := newNode(k, m, 0, geom.V(50, 50), stim, &scriptAgent{})
+	k.RunUntil(10) // 0.41 J consumed already
+	n.SetBattery(0.2)
+	if _, dead := n.BatteryDead(); !dead {
+		t.Error("over-budget node not dead immediately")
+	}
+}
+
+func TestBatteryDeathCancelledByInjectedFailure(t *testing.T) {
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
+	k, m := testRig(stim)
+	n := newNode(k, m, 0, geom.V(50, 50), stim, &scriptAgent{})
+	n.SetBattery(0.41)
+	n.FailAt(5) // injected failure first
+	n.Start()
+	k.RunUntil(100)
+	if _, dead := n.BatteryDead(); dead {
+		t.Error("failed node still died of battery")
+	}
+	if !n.Failed() {
+		t.Error("node not failed")
+	}
+}
+
+func TestBatteryRescheduleAcrossSleep(t *testing.T) {
+	// Budget covers 10 s awake OR ~7.6 days asleep. A node that sleeps
+	// 5 s after 5 s awake must die later than 10.
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
+	k, m := testRig(stim)
+	a := &scriptAgent{}
+	n := newNode(k, m, 0, geom.V(50, 50), stim, a)
+	n.SetBattery(0.41)
+	n.Start()
+	k.Schedule(5, func(*sim.Kernel) { n.Sleep(5) }) // asleep t=5..10
+	k.RunUntil(30)
+	diedAt, dead := n.BatteryDead()
+	if !dead {
+		t.Fatal("node still alive")
+	}
+	// Awake 0..5 (0.205 J), asleep 5..10 (75 µJ), awake from 10: remaining
+	// ≈ 0.205 J lasts ~5 s → death ≈ 15.
+	if diedAt < 14.9 || diedAt > 15.1 {
+		t.Errorf("died at %v, want ≈15", diedAt)
+	}
+}

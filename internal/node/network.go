@@ -1,0 +1,92 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/diffusion"
+	"repro/internal/energy"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NetworkConfig assembles a full simulated sensor field.
+type NetworkConfig struct {
+	// Deployment fixes node positions and the field bounds.
+	Deployment *deploy.Deployment
+	// Stimulus is the phenomenon being monitored.
+	Stimulus diffusion.Stimulus
+	// Profile is the hardware energy model (energy.Telos() for the paper).
+	Profile energy.Profile
+	// Loss is the channel model (radio.UnitDisk{Range: 10} for the paper).
+	Loss radio.LossModel
+	// Agents constructs the protocol agent for each node.
+	Agents func(id radio.NodeID) Agent
+	// ChannelStream drives loss randomness; nil uses a fixed default.
+	ChannelStream *rng.Stream
+	// Collisions enables destructive-collision modelling.
+	Collisions bool
+	// CSMA, when non-nil, enables carrier-sense multiple access with the
+	// given backoff parameters.
+	CSMA *radio.CSMAConfig
+}
+
+// Network is a wired, runnable sensor field.
+type Network struct {
+	Kernel *sim.Kernel
+	Medium *radio.Medium
+	Nodes  []*Node
+}
+
+// BuildNetwork constructs the kernel, medium and all nodes from cfg.
+func BuildNetwork(cfg NetworkConfig) *Network {
+	if cfg.Deployment == nil || cfg.Deployment.N() == 0 {
+		panic("node: network needs a non-empty deployment")
+	}
+	if cfg.Stimulus == nil || cfg.Loss == nil || cfg.Agents == nil {
+		panic("node: incomplete network config")
+	}
+	stream := cfg.ChannelStream
+	if stream == nil {
+		stream = rng.NewSource(0).Stream("channel")
+	}
+	k := sim.NewKernel()
+	medium := radio.NewMedium(k, cfg.Deployment.Field, cfg.Profile, cfg.Loss, stream)
+	if cfg.Collisions {
+		medium.EnableCollisions()
+	}
+	if cfg.CSMA != nil {
+		medium.EnableCSMA(*cfg.CSMA)
+	}
+	nodes := make([]*Node, cfg.Deployment.N())
+	for i, pos := range cfg.Deployment.Positions {
+		id := radio.NodeID(i)
+		nodes[i] = New(Config{
+			ID:       id,
+			Pos:      pos,
+			Kernel:   k,
+			Medium:   medium,
+			Stimulus: cfg.Stimulus,
+			Profile:  cfg.Profile,
+			Agent:    cfg.Agents(id),
+		})
+	}
+	return &Network{Kernel: k, Medium: medium, Nodes: nodes}
+}
+
+// Run starts every agent, executes the simulation to the horizon and closes
+// all meters at it. It returns the horizon for convenience.
+func (nw *Network) Run(horizon float64) float64 {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("node: horizon must be positive, got %g", horizon))
+	}
+	for _, n := range nw.Nodes {
+		n.Start()
+	}
+	nw.Kernel.RunUntil(horizon)
+	for _, n := range nw.Nodes {
+		n.Finish(horizon)
+	}
+	return horizon
+}

@@ -1,0 +1,386 @@
+// Package radio simulates the broadcast wireless channel between sensor
+// nodes: message timing derived from the platform data rate, a pluggable
+// link-loss model (unit disk, uniformly lossy, distance falloff), optional
+// collision modelling, and energy charging of transmitters and receivers.
+//
+// The paper's experiments use a 10 m transmission range with Telos timing
+// (250 kbps); the imperfect-channel extension experiments swap in the lossy
+// models, which the paper lists as future work.
+package radio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node on the medium. IDs are small dense integers
+// assigned by the deployment.
+type NodeID int
+
+// Message is anything protocols exchange over the medium. The medium only
+// needs the on-air size to compute transmission time and energy.
+type Message interface {
+	// Size returns the on-air size in bytes including headers.
+	Size() int
+}
+
+// Receiver is the delivery interface a node exposes to the medium.
+type Receiver interface {
+	// Listening reports whether the transceiver can currently receive
+	// (false while the node sleeps or has failed).
+	Listening() bool
+	// Deliver hands over a successfully received message.
+	Deliver(from NodeID, msg Message)
+}
+
+// LossModel decides whether one transmission reaches one receiver.
+type LossModel interface {
+	// Delivers reports whether a packet crosses a link of the given length.
+	// It may consume randomness from st.
+	Delivers(dist float64, st *rng.Stream) bool
+	// MaxRange returns the distance beyond which delivery is impossible,
+	// used to bound the neighbour search.
+	MaxRange() float64
+}
+
+// UnitDisk delivers every packet within Range and none beyond — the model of
+// the paper's main experiments.
+type UnitDisk struct {
+	Range float64
+}
+
+// Delivers implements LossModel.
+func (u UnitDisk) Delivers(dist float64, _ *rng.Stream) bool { return dist <= u.Range }
+
+// MaxRange implements LossModel.
+func (u UnitDisk) MaxRange() float64 { return u.Range }
+
+// LossyDisk delivers packets within Range with probability 1−LossProb,
+// independently per packet — the simplest imperfect-channel model.
+type LossyDisk struct {
+	Range    float64
+	LossProb float64
+}
+
+// Delivers implements LossModel.
+func (l LossyDisk) Delivers(dist float64, st *rng.Stream) bool {
+	if dist > l.Range {
+		return false
+	}
+	return !st.Bernoulli(l.LossProb)
+}
+
+// MaxRange implements LossModel.
+func (l LossyDisk) MaxRange() float64 { return l.Range }
+
+// DistanceFalloff has a perfect inner disc of radius Reliable and a packet
+// reception ratio that decays linearly to zero at Max — the classic
+// "transitional region" abstraction of low-power radios.
+type DistanceFalloff struct {
+	Reliable float64
+	Max      float64
+}
+
+// Delivers implements LossModel.
+func (d DistanceFalloff) Delivers(dist float64, st *rng.Stream) bool {
+	switch {
+	case dist <= d.Reliable:
+		return true
+	case dist >= d.Max:
+		return false
+	default:
+		prr := 1 - (dist-d.Reliable)/(d.Max-d.Reliable)
+		return st.Bernoulli(prr)
+	}
+}
+
+// MaxRange implements LossModel.
+func (d DistanceFalloff) MaxRange() float64 { return d.Max }
+
+// Stats counts medium activity for the metric reports.
+type Stats struct {
+	Broadcasts       int // transmissions initiated
+	Delivered        int // per-receiver successful deliveries
+	DroppedLoss      int // killed by the loss model
+	DroppedSleeping  int // receiver was not listening at delivery time
+	DroppedCollision int // destroyed by overlapping transmissions
+	BytesSent        int
+	CSMADeferred     int // transmissions postponed by carrier sense
+	CSMAGaveUp       int // transmissions dropped after exhausting backoffs
+}
+
+// CSMAConfig parameterizes carrier-sense multiple access.
+type CSMAConfig struct {
+	// MinBackoff/MaxBackoff bound the uniform random deferral when the
+	// channel is sensed busy.
+	MinBackoff, MaxBackoff float64
+	// MaxAttempts bounds the retries before the frame is dropped.
+	MaxAttempts int
+}
+
+// DefaultCSMA returns backoff parameters scaled to ~1–10 frame times at
+// 250 kbps.
+func DefaultCSMA() CSMAConfig {
+	return CSMAConfig{MinBackoff: 0.002, MaxBackoff: 0.02, MaxAttempts: 5}
+}
+
+// endpoint is the per-node state the medium tracks.
+type endpoint struct {
+	id       NodeID
+	pos      geom.Vec2
+	receiver Receiver
+	meter    *energy.Meter
+	// Collision bookkeeping. busyUntil is the end of the latest reception in
+	// flight; corruptUntil marks the window in which every reception has
+	// been destroyed by an overlap.
+	busyUntil    float64
+	corruptUntil float64
+}
+
+// Medium is the shared broadcast channel. It is bound to a simulation kernel
+// and delivers messages as scheduled events after the on-air transmission
+// time. Not safe for concurrent use (the kernel is single-goroutine).
+type Medium struct {
+	kernel     *sim.Kernel
+	profile    energy.Profile
+	loss       LossModel
+	stream     *rng.Stream
+	collisions bool
+
+	endpoints map[NodeID]*endpoint
+	hash      *geom.SpatialHash // rebuilt lazily after AddNode
+	positions []geom.Vec2
+	ids       []NodeID
+	bounds    geom.Rect
+	stats     Stats
+
+	csma     *CSMAConfig
+	inFlight []flight // active transmissions, pruned lazily
+}
+
+// flight is one transmission in the air (for carrier sensing).
+type flight struct {
+	pos geom.Vec2
+	end float64
+}
+
+// NewMedium creates a broadcast medium over the given field. The stream
+// drives loss draws; pass a dedicated sub-stream (e.g. source.Stream
+// ("channel")).
+func NewMedium(k *sim.Kernel, bounds geom.Rect, profile energy.Profile, loss LossModel, stream *rng.Stream) *Medium {
+	if loss == nil {
+		panic("radio: nil loss model")
+	}
+	if err := profile.Validate(); err != nil {
+		panic(fmt.Sprintf("radio: invalid profile: %v", err))
+	}
+	return &Medium{
+		kernel:    k,
+		profile:   profile,
+		loss:      loss,
+		stream:    stream,
+		endpoints: make(map[NodeID]*endpoint),
+		bounds:    bounds,
+	}
+}
+
+// EnableCollisions turns on destructive-collision modelling: transmissions
+// that overlap in time at a receiver destroy each other.
+func (m *Medium) EnableCollisions() { m.collisions = true }
+
+// EnableCSMA turns on carrier-sense multiple access: a transmission that
+// would start while another transmission is audible at the sender defers by
+// a uniform random backoff, retrying up to the configured attempts before
+// being dropped. Senders that go to sleep while deferring abandon the frame.
+func (m *Medium) EnableCSMA(cfg CSMAConfig) {
+	if cfg.MinBackoff <= 0 || cfg.MaxBackoff <= cfg.MinBackoff || cfg.MaxAttempts < 1 {
+		panic(fmt.Sprintf("radio: invalid CSMA config %+v", cfg))
+	}
+	m.csma = &cfg
+}
+
+// channelBusyAt reports whether any transmission is audible at pos now.
+func (m *Medium) channelBusyAt(pos geom.Vec2, now float64) bool {
+	live := m.inFlight[:0]
+	busy := false
+	rng2 := m.loss.MaxRange()
+	for _, f := range m.inFlight {
+		if f.end <= now {
+			continue
+		}
+		live = append(live, f)
+		if f.pos.Dist(pos) <= rng2 {
+			busy = true
+		}
+	}
+	m.inFlight = live
+	return busy
+}
+
+// AddNode registers a node at a fixed position. The meter may be nil for
+// unmetered observers. Adding a duplicate ID panics — deployments assign
+// unique dense IDs.
+func (m *Medium) AddNode(id NodeID, pos geom.Vec2, r Receiver, meter *energy.Meter) {
+	if _, dup := m.endpoints[id]; dup {
+		panic(fmt.Sprintf("radio: duplicate node %d", id))
+	}
+	m.endpoints[id] = &endpoint{id: id, pos: pos, receiver: r, meter: meter}
+	m.hash = nil // invalidate the spatial index
+}
+
+// rebuild refreshes the spatial index after registration changes.
+func (m *Medium) rebuild() {
+	m.ids = m.ids[:0]
+	for id := range m.endpoints {
+		m.ids = append(m.ids, id)
+	}
+	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
+	m.positions = make([]geom.Vec2, len(m.ids))
+	for i, id := range m.ids {
+		m.positions[i] = m.endpoints[id].pos
+	}
+	cell := m.loss.MaxRange()
+	if cell <= 0 {
+		cell = 1
+	}
+	m.hash = geom.NewSpatialHash(m.bounds.Expand(cell), cell, m.positions)
+}
+
+// NeighborIDs returns the IDs of all registered nodes within the loss
+// model's maximum range of node id (excluding id itself), in ascending
+// order. Protocols do not call this — they discover neighbours with
+// REQUEST/RESPONSE traffic — but deployment validation and tests do.
+func (m *Medium) NeighborIDs(id NodeID) []NodeID {
+	ep, ok := m.endpoints[id]
+	if !ok {
+		return nil
+	}
+	if m.hash == nil {
+		m.rebuild()
+	}
+	var out []NodeID
+	for _, i := range m.hash.Near(ep.pos, m.loss.MaxRange()) {
+		if nid := m.ids[i]; nid != id {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+// TxTime returns the on-air duration of a message in seconds.
+func (m *Medium) TxTime(msg Message) float64 { return m.profile.TxTime(msg.Size()) }
+
+// Broadcast transmits msg from the given node to every listening neighbour
+// that the loss model lets through. Delivery happens one transmission time
+// after the call. The sender is charged transmit energy immediately.
+func (m *Medium) Broadcast(from NodeID, msg Message) {
+	sender, ok := m.endpoints[from]
+	if !ok {
+		panic(fmt.Sprintf("radio: broadcast from unregistered node %d", from))
+	}
+	if m.hash == nil {
+		m.rebuild()
+	}
+	if m.csma != nil && m.channelBusyAt(sender.pos, m.kernel.Now()) {
+		m.deferBroadcast(from, msg, 1)
+		return
+	}
+	m.stats.Broadcasts++
+	m.stats.BytesSent += msg.Size()
+	if sender.meter != nil {
+		sender.meter.ChargeTxBytes(msg.Size())
+	}
+	txTime := m.TxTime(msg)
+	now := m.kernel.Now()
+	end := now + txTime
+	if m.csma != nil {
+		m.inFlight = append(m.inFlight, flight{pos: sender.pos, end: end})
+	}
+
+	for _, i := range m.hash.Near(sender.pos, m.loss.MaxRange()) {
+		id := m.ids[i]
+		if id == from {
+			continue
+		}
+		target := m.endpoints[id]
+		dist := sender.pos.Dist(target.pos)
+		if !m.loss.Delivers(dist, m.stream) {
+			m.stats.DroppedLoss++
+			continue
+		}
+		if m.collisions {
+			if target.busyUntil > now+1e-12 {
+				// Overlap with a reception in flight: that packet and this
+				// one are both destroyed. Extend the corruption window over
+				// both transmissions.
+				w := target.busyUntil
+				if end > w {
+					w = end
+				}
+				if w > target.corruptUntil {
+					target.corruptUntil = w
+				}
+			}
+			if end > target.busyUntil {
+				target.busyUntil = end
+			}
+		}
+		m.kernel.ScheduleAt(end, func(*sim.Kernel) {
+			if m.collisions && end <= target.corruptUntil+1e-12 {
+				m.stats.DroppedCollision++
+				return
+			}
+			if !target.receiver.Listening() {
+				m.stats.DroppedSleeping++
+				return
+			}
+			if target.meter != nil {
+				target.meter.ChargeRx(txTime)
+			}
+			m.stats.Delivered++
+			target.receiver.Deliver(from, msg)
+		})
+	}
+}
+
+// deferBroadcast schedules a CSMA retry after a random backoff.
+func (m *Medium) deferBroadcast(from NodeID, msg Message, attempt int) {
+	if attempt > m.csma.MaxAttempts {
+		m.stats.CSMAGaveUp++
+		return
+	}
+	m.stats.CSMADeferred++
+	backoff := m.stream.Uniform(m.csma.MinBackoff, m.csma.MaxBackoff)
+	sender := m.endpoints[from]
+	m.kernel.Schedule(backoff, func(*sim.Kernel) {
+		if !sender.receiver.Listening() {
+			m.stats.CSMAGaveUp++ // sender slept or died while deferring
+			return
+		}
+		if m.channelBusyAt(sender.pos, m.kernel.Now()) {
+			m.deferBroadcast(from, msg, attempt+1)
+			return
+		}
+		m.Broadcast(from, msg)
+	})
+}
+
+// Stats returns a copy of the medium's counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// NodeCount returns the number of registered nodes.
+func (m *Medium) NodeCount() int { return len(m.endpoints) }
+
+// Position returns the registered position of a node.
+func (m *Medium) Position(id NodeID) (geom.Vec2, bool) {
+	ep, ok := m.endpoints[id]
+	if !ok {
+		return geom.Vec2{}, false
+	}
+	return ep.pos, true
+}

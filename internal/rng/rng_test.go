@@ -1,0 +1,223 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := NewSource(42).Stream("deploy")
+	b := NewSource(42).Stream("deploy")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed + name produced different draws")
+		}
+	}
+}
+
+func TestStreamsIndependentByName(t *testing.T) {
+	s := NewSource(42)
+	a := s.Stream("deploy")
+	b := s.Stream("channel")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different names coincide in %d/100 draws", same)
+	}
+}
+
+func TestStreamsIndependentBySeed(t *testing.T) {
+	a := NewSource(1).Stream("x")
+	b := NewSource(2).Stream("x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds coincide in %d/100 draws", same)
+	}
+}
+
+func TestStreamN(t *testing.T) {
+	s := NewSource(7)
+	a := s.StreamN("node", 0)
+	b := s.StreamN("node", 1)
+	a2 := s.StreamN("node", 0)
+	if a.Float64() == b.Float64() {
+		t.Error("numbered streams not independent")
+	}
+	// a2 restarts stream 0.
+	want := NewSource(7).StreamN("node", 0).Float64()
+	_ = a2
+	got := NewSource(7).StreamN("node", 0).Float64()
+	if want != got {
+		t.Error("numbered stream not reproducible")
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if NewSource(99).Seed() != 99 {
+		t.Error("Seed() mismatch")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	st := NewSource(1).Stream("u")
+	for i := 0; i < 1000; i++ {
+		x := st.Uniform(3, 7)
+		if x < 3 || x >= 7 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	st := NewSource(1).Stream("umean")
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += st.Uniform(0, 10)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5) > 0.15 {
+		t.Errorf("Uniform(0,10) mean = %v, want ~5", mean)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	st := NewSource(2).Stream("exp")
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := st.Exponential(3)
+		if x < 0 {
+			t.Fatalf("Exponential negative: %v", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3) > 0.2 {
+		t.Errorf("Exponential(3) mean = %v", mean)
+	}
+	if st.Exponential(0) != 0 || st.Exponential(-1) != 0 {
+		t.Error("degenerate Exponential not 0")
+	}
+}
+
+func TestNormal(t *testing.T) {
+	st := NewSource(3).Stream("norm")
+	var acc, acc2 float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := st.Normal(10, 2)
+		acc += x
+		acc2 += x * x
+	}
+	mean := acc / float64(n)
+	vari := acc2/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(vari-4) > 0.3 {
+		t.Errorf("Normal var = %v", vari)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	st := NewSource(4).Stream("bern")
+	if st.Bernoulli(0) {
+		t.Error("p=0 returned true")
+	}
+	if !st.Bernoulli(1) {
+		t.Error("p=1 returned false")
+	}
+	if st.Bernoulli(-0.5) || !st.Bernoulli(1.5) {
+		t.Error("clamping misbehaves")
+	}
+	hits := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if st.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	st := NewSource(5).Stream("jit")
+	if st.Jitter(0) != 1 || st.Jitter(-1) != 1 {
+		t.Error("no-jitter case not 1")
+	}
+	for i := 0; i < 1000; i++ {
+		j := st.Jitter(0.25)
+		if j < 0.75 || j > 1.25 {
+			t.Fatalf("Jitter out of range: %v", j)
+		}
+	}
+	// amount > 1 clamps to 1: factor in [0, 2].
+	for i := 0; i < 1000; i++ {
+		j := st.Jitter(5)
+		if j < 0 || j > 2 {
+			t.Fatalf("clamped Jitter out of range: %v", j)
+		}
+	}
+}
+
+func TestQuickStreamNameDeterminism(t *testing.T) {
+	f := func(seed int64, name string) bool {
+		a := NewSource(seed).Stream(name)
+		b := NewSource(seed).Stream(name)
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUniformBounds(t *testing.T) {
+	f := func(seed int64, lo, w float64) bool {
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(w) || math.IsInf(w, 0) {
+			return true
+		}
+		lo = math.Mod(lo, 1e6)
+		w = math.Abs(math.Mod(w, 1e6))
+		if w == 0 {
+			return true
+		}
+		st := NewSource(seed).Stream("q")
+		x := st.Uniform(lo, lo+w)
+		return x >= lo && x < lo+w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitmix64Mixes(t *testing.T) {
+	// Sequential inputs must map to widely separated outputs.
+	a := splitmix64(1)
+	b := splitmix64(2)
+	if a == b {
+		t.Error("splitmix64 collision on adjacent inputs")
+	}
+	diff := a ^ b
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 10 {
+		t.Errorf("adjacent inputs differ in only %d bits", bits)
+	}
+}

@@ -1,0 +1,306 @@
+// Package sas reimplements the comparison baseline SAS — Stimulus-based
+// Adaptive Sleeping (Ngan et al., ICPP'05) — as described by the PAS paper:
+// the same adaptive linear sleep schedule, but with a simpler, scalar local
+// velocity estimate and with alert information transmitted only by sensors
+// that are covered by the stimulus. Both simplifications follow the PAS
+// paper's characterization: "It employs a simple method for the local
+// velocity estimation" and "PAS allows the DS information to be exchanged in
+// a larger field of sensors than SAS, i.e., the sensors which are not
+// covered by the stimulus also transmit alert information" (§3.1) — so in
+// SAS, they do not. The net effect, as the paper argues in §3.4, is that SAS
+// behaves like PAS with a sharply reduced alert time: predictions exist only
+// within one radio hop of the front.
+package sas
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Config holds the SAS tunables. The sleep schedule matches PAS so the
+// paper's Figs. 4/6 sweep compares like with like.
+type Config struct {
+	// AlertThreshold is the expected-arrival threshold below which a node
+	// stays awake.
+	AlertThreshold float64
+	// SleepInit, SleepIncrement, SleepMax define the linear sleep ramp.
+	SleepInit      float64
+	SleepIncrement float64
+	SleepMax       float64
+	// ResponseWindow is the wake-time listen window after the probe.
+	ResponseWindow float64
+	// AlertReassess is the awake-state re-evaluation period.
+	AlertReassess float64
+	// DetectionTimeout returns a covered node to safe after the stimulus
+	// leaves.
+	DetectionTimeout float64
+	// MaxReportAge ages out stale alerts (0 disables).
+	MaxReportAge float64
+	// ResponseStagger spaces concurrent responses.
+	ResponseStagger float64
+	// SleepJitter matches the PAS per-cycle sleep jitter.
+	SleepJitter float64
+	// MinVelocityDt matches the PAS minimum usable detection-time gap.
+	MinVelocityDt float64
+}
+
+// DefaultConfig mirrors the PAS defaults so head-to-head sweeps differ only
+// in the protocols' mechanisms.
+func DefaultConfig() Config {
+	p := core.DefaultConfig()
+	return Config{
+		AlertThreshold:   p.AlertThreshold,
+		SleepInit:        p.SleepInit,
+		SleepIncrement:   p.SleepIncrement,
+		SleepMax:         p.SleepMax,
+		ResponseWindow:   p.ResponseWindow,
+		AlertReassess:    p.AlertReassess,
+		DetectionTimeout: p.DetectionTimeout,
+		MaxReportAge:     p.MaxReportAge,
+		ResponseStagger:  p.ResponseStagger,
+		SleepJitter:      p.SleepJitter,
+		MinVelocityDt:    p.MinVelocityDt,
+	}
+}
+
+// Agent is one node's SAS protocol instance.
+type Agent struct {
+	cfg      Config
+	reports  map[radio.NodeID]core.NeighborReport
+	schedule *core.SleepSchedule
+
+	speed    float64 // scalar spreading-speed estimate (0 = unknown)
+	hasSpeed bool
+
+	decision       *sim.Timer
+	reassess       *sim.Timer
+	coveredTimeout *sim.Timer
+
+	detected   bool
+	detectedAt float64
+	sleepCount int
+}
+
+var _ node.Agent = (*Agent)(nil)
+
+// New constructs a SAS agent.
+func New(cfg Config) *Agent {
+	return &Agent{
+		cfg:      cfg,
+		reports:  make(map[radio.NodeID]core.NeighborReport),
+		schedule: core.NewSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
+	}
+}
+
+// Init implements node.Agent.
+func (a *Agent) Init(n *node.Node) {
+	a.decision = sim.NewTimer(n.Kernel())
+	a.reassess = sim.NewTimer(n.Kernel())
+	a.coveredTimeout = sim.NewTimer(n.Kernel())
+	n.SetState(node.StateSafe)
+	a.probe(n)
+}
+
+// probe asks covered neighbours for stimulus information and schedules the
+// decision.
+func (a *Agent) probe(n *node.Node) {
+	n.Broadcast(core.Request{})
+	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) { a.decide(n) })
+}
+
+// decide commits to staying awake (near the front) or sleeping longer.
+func (a *Agent) decide(n *node.Node) {
+	if n.State() == node.StateCovered {
+		return
+	}
+	if a.eta(n) < a.cfg.AlertThreshold {
+		n.SetState(node.StateAlert)
+		a.armReassess(n)
+		return
+	}
+	a.enterSafe(n, false)
+}
+
+func (a *Agent) armReassess(n *node.Node) {
+	a.reassess.Reset(a.cfg.AlertReassess, func(*sim.Kernel) {
+		if n.State() != node.StateAlert {
+			return
+		}
+		if n.Sense() {
+			return // detection takes over (OnDetect ran)
+		}
+		if a.eta(n) >= a.cfg.AlertThreshold {
+			a.enterSafe(n, true)
+			return
+		}
+		a.armReassess(n)
+	})
+}
+
+func (a *Agent) enterSafe(n *node.Node, resetRamp bool) {
+	a.reassess.Stop()
+	n.SetState(node.StateSafe)
+	if resetRamp {
+		a.schedule.Reset()
+	}
+	a.sleepCount++
+	d := a.schedule.Next() * core.PhaseJitter(int(n.ID()), a.sleepCount, a.cfg.SleepJitter)
+	n.Sleep(d)
+}
+
+// OnWake implements node.Agent.
+func (a *Agent) OnWake(n *node.Node) { a.probe(n) }
+
+// OnDetect implements node.Agent: compute the scalar local speed from
+// covered neighbours and broadcast the alert.
+func (a *Agent) OnDetect(n *node.Node) {
+	a.detected = true
+	a.detectedAt = n.Now()
+	a.reassess.Stop()
+	a.decision.Stop()
+	n.SetState(node.StateCovered)
+	n.Broadcast(core.Request{})
+	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) {
+		if s, ok := a.scalarSpeed(n); ok {
+			a.speed, a.hasSpeed = s, true
+		}
+		a.sendResponse(n)
+	})
+}
+
+// scalarSpeed is SAS's "simple method for the local velocity estimation":
+// the mean of straight-line distance over detection-time difference across
+// covered neighbours — a speed with no direction.
+func (a *Agent) scalarSpeed(n *node.Node) (float64, bool) {
+	var sum float64
+	count := 0
+	for _, r := range a.sortedReports() {
+		if !r.Detected || r.State != node.StateCovered {
+			continue
+		}
+		dt := a.detectedAt - r.DetectedAt
+		minDt := a.cfg.MinVelocityDt
+		if minDt <= 0 {
+			minDt = 1e-9
+		}
+		if dt < minDt {
+			continue
+		}
+		sum += n.Pos().Dist(r.Pos) / dt
+		count++
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}
+
+// OnStimulusGone implements node.Agent.
+func (a *Agent) OnStimulusGone(n *node.Node) {
+	a.coveredTimeout.Reset(a.cfg.DetectionTimeout, func(*sim.Kernel) {
+		if n.State() != node.StateCovered || !n.IsAwake() {
+			return
+		}
+		if n.CoveredNow() {
+			return
+		}
+		a.enterSafe(n, true)
+	})
+}
+
+// OnMessage implements node.Agent. The crucial SAS restriction lives here:
+// only covered nodes answer REQUESTs, so stimulus information never travels
+// beyond the front's one-hop neighbourhood.
+func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, msg radio.Message) {
+	switch m := msg.(type) {
+	case core.Request:
+		if n.State() != node.StateCovered {
+			return
+		}
+		stagger := a.cfg.ResponseStagger * float64(1+int(n.ID())%8)
+		if stagger <= 0 {
+			a.sendResponse(n)
+			return
+		}
+		n.Kernel().Schedule(stagger, func(*sim.Kernel) {
+			if n.IsAwake() && n.State() == node.StateCovered {
+				a.sendResponse(n)
+			}
+		})
+	case core.Response:
+		a.reports[from] = core.NeighborReport{
+			ID:               from,
+			Pos:              m.Pos,
+			State:            m.State,
+			Velocity:         m.Velocity,
+			HasVelocity:      m.HasVelocity,
+			PredictedArrival: m.PredictedArrival,
+			DetectedAt:       m.DetectedAt,
+			Detected:         m.Detected,
+			ReceivedAt:       n.Now(),
+		}
+		if n.State() == node.StateAlert && a.eta(n) >= a.cfg.AlertThreshold {
+			a.enterSafe(n, true)
+		}
+	}
+}
+
+// eta is SAS's expected arrival estimate: straight-line distance over the
+// neighbour's scalar speed, anchored at the neighbour's detection time, with
+// no directional correction — the simplification PAS improves on.
+func (a *Agent) eta(n *node.Node) float64 {
+	now := n.Now()
+	best := math.Inf(1)
+	for _, r := range a.sortedReports() {
+		if a.cfg.MaxReportAge > 0 && now-r.ReceivedAt > a.cfg.MaxReportAge {
+			continue
+		}
+		if !r.Detected || !r.HasVelocity {
+			continue
+		}
+		speed := r.Velocity.Norm()
+		if speed <= 0 {
+			continue
+		}
+		eta := n.Pos().Dist(r.Pos)/speed - (now - r.DetectedAt)
+		if eta < 0 {
+			eta = 0
+		}
+		if eta < best {
+			best = eta
+		}
+	}
+	return best
+}
+
+// sendResponse broadcasts the covered node's alert: position, detection time
+// and the scalar speed (carried in the velocity field's magnitude; SAS has
+// no direction estimate).
+func (a *Agent) sendResponse(n *node.Node) {
+	if !n.IsAwake() {
+		return
+	}
+	n.Broadcast(core.Response{
+		Pos:              n.Pos(),
+		State:            n.State(),
+		Velocity:         core.ScalarVelocity(a.speed),
+		HasVelocity:      a.hasSpeed,
+		PredictedArrival: a.detectedAt,
+		DetectedAt:       a.detectedAt,
+		Detected:         a.detected,
+	})
+}
+
+func (a *Agent) sortedReports() []core.NeighborReport {
+	out := make([]core.NeighborReport, 0, len(a.reports))
+	for _, r := range a.reports {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

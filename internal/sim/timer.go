@@ -1,0 +1,49 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to a kernel, analogous to
+// time.Timer but in virtual time. Protocol agents use it for wake-ups and
+// detection timeouts that are frequently re-armed or cancelled.
+type Timer struct {
+	k       *Kernel
+	id      EventID
+	armed   bool
+	Expires Time // absolute expiry time while armed
+}
+
+// NewTimer returns an unarmed timer bound to k.
+func NewTimer(k *Kernel) *Timer { return &Timer{k: k} }
+
+// Armed reports whether the timer is currently pending.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Reset (re)arms the timer to fire h after delay, cancelling any previous
+// schedule.
+func (t *Timer) Reset(delay Time, h Handler) {
+	t.Stop()
+	t.Expires = t.k.Now() + delay
+	t.armed = true
+	t.id = t.k.Schedule(delay, func(k *Kernel) {
+		t.armed = false
+		h(k)
+	})
+}
+
+// ResetAt (re)arms the timer to fire h at absolute time at.
+func (t *Timer) ResetAt(at Time, h Handler) {
+	t.Stop()
+	t.Expires = at
+	t.armed = true
+	t.id = t.k.ScheduleAt(at, func(k *Kernel) {
+		t.armed = false
+		h(k)
+	})
+}
+
+// Stop cancels the timer if armed, reporting whether it was armed.
+func (t *Timer) Stop() bool {
+	if !t.armed {
+		return false
+	}
+	t.armed = false
+	return t.k.Cancel(t.id)
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates samples into fixed-width bins over [Lo, Hi]. Samples
+// outside the range are counted in the underflow/overflow tallies so nothing
+// is silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with n bins covering [lo, hi). It panics
+// if n <= 0 or hi <= lo: a malformed histogram is a programming error.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: histogram needs positive bin count, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%g,%g) is empty", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add incorporates one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if math.IsNaN(x) || x < h.Lo {
+		h.Underflow++
+		return
+	}
+	if x >= h.Hi {
+		h.Overflow++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // float round-up at the top edge
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of samples seen, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the fullest bin (ties: lowest index).
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Render returns a simple ASCII bar rendering with the given maximum bar
+// width, one bin per line.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "%10.3g | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", "<lo", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", ">=hi", h.Overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 5, 7.5, 9.99} {
+		h.Add(x)
+	}
+	h.Add(-1) // underflow
+	h.Add(10) // overflow (hi is exclusive)
+	h.Add(math.NaN())
+	if h.Total() != 9 {
+		t.Errorf("Total = %d, want 9", h.Total())
+	}
+	if h.Underflow != 2 { // -1 and NaN
+		t.Errorf("Underflow = %d, want 2", h.Underflow)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("Overflow = %d, want 1", h.Overflow)
+	}
+	wantCounts := []int{2, 1, 1, 1, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", c)
+	}
+	if m := h.Mode(); m != 1 {
+		t.Errorf("Mode = %v, want 1", m)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(-5)
+	h.Add(99)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Error("render has no bars")
+	}
+	if !strings.Contains(out, "<lo") || !strings.Contains(out, ">=hi") {
+		t.Error("render missing overflow rows")
+	}
+	// Zero width falls back to default.
+	if out := h.Render(0); out == "" {
+		t.Error("zero-width render empty")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero bins", func() { NewHistogram(0, 1, 0) })
+	mustPanic("empty range", func() { NewHistogram(1, 1, 4) })
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	f := FitLine(xs, ys)
+	if !almost(f.Intercept, 1, 1e-12) || !almost(f.Slope, 2, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+	if !almost(f.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+	if !almost(f.At(10), 21, 1e-12) {
+		t.Errorf("At(10) = %v", f.At(10))
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if f := FitLine(nil, nil); f.N != 0 || f.Slope != 0 {
+		t.Errorf("empty fit = %+v", f)
+	}
+	// Single point: horizontal line through it.
+	f := FitLine([]float64{2}, []float64{7})
+	if f.Slope != 0 || f.Intercept != 7 {
+		t.Errorf("single-point fit = %+v", f)
+	}
+	// Zero x-variance.
+	f = FitLine([]float64{1, 1, 1}, []float64{2, 4, 6})
+	if f.Slope != 0 || !almost(f.Intercept, 4, 1e-12) {
+		t.Errorf("zero-variance fit = %+v", f)
+	}
+	// Mismatched lengths use the shorter prefix.
+	f = FitLine([]float64{0, 1, 2, 99}, []float64{0, 1, 2})
+	if !almost(f.Slope, 1, 1e-12) {
+		t.Errorf("prefix fit = %+v", f)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 4.9}
+	f := FitLine(xs, ys)
+	if f.Slope < 0.9 || f.Slope > 1.1 {
+		t.Errorf("Slope = %v, want ~1", f.Slope)
+	}
+	if f.R2 < 0.98 {
+		t.Errorf("R2 = %v, want near 1", f.R2)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Perfectly monotone increasing (nonlinear): rho = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25}
+	if r := SpearmanRank(xs, ys); !almost(r, 1, 1e-12) {
+		t.Errorf("rho = %v, want 1", r)
+	}
+	// Perfectly decreasing: rho = -1.
+	zs := []float64{10, 8, 6, 4, 2}
+	if r := SpearmanRank(xs, zs); !almost(r, -1, 1e-12) {
+		t.Errorf("rho = %v, want -1", r)
+	}
+	// Constant ys: rho = 0.
+	if r := SpearmanRank(xs, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Errorf("rho = %v, want 0", r)
+	}
+	// Degenerate.
+	if r := SpearmanRank([]float64{1}, []float64{2}); r != 0 {
+		t.Errorf("rho single = %v", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestStatsClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// LinearFit is the result of an ordinary-least-squares line fit y = a + b·x.
+// The reproduction tests use it to assert trend shapes (e.g. "detection delay
+// grows with the maximum sleep interval before saturating").
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// FitLine computes an OLS fit of ys against xs. The slices must have equal
+// length; fewer than two points (or zero x-variance) yields a horizontal line
+// through the mean with R2 = 0.
+func FitLine(xs, ys []float64) LinearFit {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n == 0 {
+		return LinearFit{}
+	}
+	mx := Mean(xs[:n])
+	my := Mean(ys[:n])
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if n < 2 || sxx == 0 {
+		return LinearFit{Intercept: my, N: n}
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 0.0
+	if syy > 0 {
+		r := sxy / math.Sqrt(sxx*syy)
+		r2 = r * r
+	}
+	return LinearFit{Intercept: a, Slope: b, R2: r2, N: n}
+}
+
+// At evaluates the fitted line at x.
+func (f LinearFit) At(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// SpearmanRank returns the Spearman rank correlation between xs and ys, a
+// robust monotonicity measure for shape assertions. Ties receive average
+// ranks. Returns 0 when there are fewer than 2 points or zero variance.
+func SpearmanRank(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0
+	}
+	rx := ranks(xs[:n])
+	ry := ranks(ys[:n])
+	fit := FitLine(rx, ry)
+	if fit.Slope == 0 {
+		return 0
+	}
+	r := fit.Slope * math.Sqrt(Variance(rx)/Variance(ry))
+	return Clamp(r, -1, 1)
+}
+
+// ranks returns average ranks (1-based) of xs.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort of indices by value: n is small in every caller.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && xs[idx[j]] < xs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2.0 // 0-based average rank
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg + 1
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

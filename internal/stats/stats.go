@@ -1,0 +1,202 @@
+// Package stats provides the summary-statistics substrate used by the metric
+// collectors and the experiment harness: online accumulators, percentiles,
+// confidence intervals, histograms and simple linear regression for trend
+// assertions in the reproduction tests.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects samples with Welford's online algorithm so means and
+// variances stay numerically stable over long simulations. The zero value is
+// ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddN incorporates x as if it had been observed k times.
+func (a *Accumulator) AddN(x float64, k int) {
+	for i := 0; i < k; i++ {
+		a.Add(x)
+	}
+}
+
+// Merge combines another accumulator into a (parallel Welford merge).
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	min := a.min
+	if b.min < min {
+		min = b.min
+	}
+	max := a.max
+	if b.max > max {
+		max = b.max
+	}
+	*a = Accumulator{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// N returns the number of samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Sum returns the total of all samples.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Variance returns the unbiased sample variance (0 for fewer than 2 samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval for
+// the mean. For small n it uses Student-t critical values; beyond the table
+// it falls back to the normal 1.96.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return tCritical95(a.n-1) * a.StdErr()
+}
+
+// String implements fmt.Stringer with a compact mean±CI rendering.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func tCritical95(df int) float64 {
+	table := []float64{
+		0,                                                             // df=0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics. Empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("zero accumulator not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance = 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if !almost(a.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %v", a.Sum())
+	}
+	if a.CI95() <= 0 {
+		t.Errorf("CI95 = %v, want > 0", a.CI95())
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a Accumulator
+	a.AddN(3, 4)
+	if a.N() != 4 || a.Mean() != 3 || a.Variance() != 0 {
+		t.Errorf("AddN: n=%d mean=%v var=%v", a.N(), a.Mean(), a.Variance())
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var left, right Accumulator
+	for _, x := range xs[:4] {
+		left.Add(x)
+	}
+	for _, x := range xs[4:] {
+		right.Add(x)
+	}
+	merged := left
+	merged.Merge(right)
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), whole.N())
+	}
+	if !almost(merged.Mean(), whole.Mean(), 1e-12) {
+		t.Errorf("merged Mean = %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if !almost(merged.Variance(), whole.Variance(), 1e-12) {
+		t.Errorf("merged Var = %v, want %v", merged.Variance(), whole.Variance())
+	}
+	if merged.Min() != 1 || merged.Max() != 10 {
+		t.Errorf("merged Min/Max = %v/%v", merged.Min(), merged.Max())
+	}
+	// Merging into empty and from empty.
+	var empty Accumulator
+	empty.Merge(whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Error("merge into empty lost data")
+	}
+	before := whole
+	whole.Merge(Accumulator{})
+	if whole != before {
+		t.Error("merge from empty changed state")
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Sum(xs) != 10 {
+		t.Errorf("Sum = %v", Sum(xs))
+	}
+	if !almost(Variance(xs), 5.0/3.0, 1e-12) {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(5.0/3.0), 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate helpers misbehave")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if p := Percentile(xs, 0); p != 15 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 35 {
+		t.Errorf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 20 {
+		t.Errorf("P25 = %v", p)
+	}
+	if p := Median([]float64{3, 1, 2}); p != 2 {
+		t.Errorf("Median = %v", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(1) != 12.706 {
+		t.Error("df=1 wrong")
+	}
+	if tCritical95(30) != 2.042 {
+		t.Error("df=30 wrong")
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Error("large df wrong")
+	}
+	if tCritical95(0) != 0 {
+		t.Error("df=0 wrong")
+	}
+}
+
+func TestQuickAccumulatorMatchesSlice(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		scale := 1 + math.Abs(Mean(xs))
+		return almost(a.Mean(), Mean(xs), 1e-9*scale) &&
+			almost(a.Variance(), Variance(xs), 1e-6*(1+Variance(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		mid := len(xs) / 2
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:mid] {
+			left.Add(x)
+		}
+		for _, x := range xs[mid:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		scale := 1 + math.Abs(whole.Mean())
+		return left.N() == whole.N() && almost(left.Mean(), whole.Mean(), 1e-9*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, pp)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace provides event logging and ASCII field rendering for the
+// demo binaries: a Fig. 2-style snapshot of the stimulus and the node states
+// (safe/alert/covered), and a transition log for post-run inspection.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/diffusion"
+	"repro/internal/geom"
+	"repro/internal/node"
+)
+
+// Glyphs used by the field renderer.
+const (
+	GlyphEmpty   = '.'
+	GlyphStim    = '~'
+	GlyphSafe    = 's'
+	GlyphAlert   = 'A'
+	GlyphCovered = 'C'
+	GlyphFailed  = 'x'
+	GlyphAsleep  = 'z'
+)
+
+// RenderField draws the field at time t as an ASCII bitmap of the given
+// character dimensions: stimulus coverage as a texture, nodes as state
+// glyphs (sleeping safe nodes lower-case 'z', awake safe 's', alert 'A',
+// covered 'C', failed 'x').
+func RenderField(field geom.Rect, stim diffusion.Stimulus, nodes []*node.Node, t float64, w, h int) string {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	grid := make([][]rune, h)
+	for j := range grid {
+		grid[j] = make([]rune, w)
+		for i := range grid[j] {
+			// Cell center in world coordinates; row 0 is the top (max Y).
+			p := cellCenter(field, i, j, w, h)
+			if stim.Covered(p, t) {
+				grid[j][i] = GlyphStim
+			} else {
+				grid[j][i] = GlyphEmpty
+			}
+		}
+	}
+	for _, n := range nodes {
+		i, j := cellOf(field, n.Pos(), w, h)
+		grid[j][i] = glyphFor(n)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%.1fs\n", t)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func glyphFor(n *node.Node) rune {
+	switch {
+	case n.Failed():
+		return GlyphFailed
+	case n.State() == node.StateCovered:
+		return GlyphCovered
+	case n.State() == node.StateAlert:
+		return GlyphAlert
+	case !n.IsAwake():
+		return GlyphAsleep
+	default:
+		return GlyphSafe
+	}
+}
+
+func cellCenter(field geom.Rect, i, j, w, h int) geom.Vec2 {
+	fx := (float64(i) + 0.5) / float64(w)
+	fy := (float64(j) + 0.5) / float64(h)
+	return geom.V(
+		field.Min.X+fx*field.Width(),
+		field.Max.Y-fy*field.Height(),
+	)
+}
+
+func cellOf(field geom.Rect, p geom.Vec2, w, h int) (int, int) {
+	fx := (p.X - field.Min.X) / field.Width()
+	fy := (field.Max.Y - p.Y) / field.Height()
+	i := int(fx * float64(w))
+	j := int(fy * float64(h))
+	if i < 0 {
+		i = 0
+	} else if i >= w {
+		i = w - 1
+	}
+	if j < 0 {
+		j = 0
+	} else if j >= h {
+		j = h - 1
+	}
+	return i, j
+}
+
+// Transition is one recorded state change.
+type Transition struct {
+	At   float64
+	Node int
+	From node.State
+	To   node.State
+}
+
+// StateLog records every state transition in a network. Attach before
+// running.
+type StateLog struct {
+	Transitions []Transition
+}
+
+// Attach hooks the log into every node of the slice.
+func (l *StateLog) Attach(nodes []*node.Node) {
+	for _, n := range nodes {
+		n := n
+		n.OnStateChange(func(_ *node.Node, from, to node.State) {
+			l.Transitions = append(l.Transitions, Transition{
+				At: n.Now(), Node: int(n.ID()), From: from, To: to,
+			})
+		})
+	}
+}
+
+// CountTo returns how many transitions entered the given state.
+func (l *StateLog) CountTo(s node.State) int {
+	c := 0
+	for _, tr := range l.Transitions {
+		if tr.To == s {
+			c++
+		}
+	}
+	return c
+}
+
+// FirstTo returns the earliest time any node entered the given state, or
+// +Inf when none did.
+func (l *StateLog) FirstTo(s node.State) float64 {
+	first := math.Inf(1)
+	for _, tr := range l.Transitions {
+		if tr.To == s && tr.At < first {
+			first = tr.At
+		}
+	}
+	return first
+}
+
+// Summary renders a compact per-state transition census.
+func (l *StateLog) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d transitions", len(l.Transitions))
+	states := []node.State{node.StateSafe, node.StateAlert, node.StateCovered}
+	for _, s := range states {
+		fmt.Fprintf(&b, "; →%s %d", s, l.CountTo(s))
+	}
+	return b.String()
+}
+
+// Timeline renders the transitions in time order, at most limit rows
+// (limit <= 0 means all).
+func (l *StateLog) Timeline(limit int) string {
+	trs := make([]Transition, len(l.Transitions))
+	copy(trs, l.Transitions)
+	sort.SliceStable(trs, func(i, j int) bool { return trs[i].At < trs[j].At })
+	if limit > 0 && len(trs) > limit {
+		trs = trs[:limit]
+	}
+	var b strings.Builder
+	for _, tr := range trs {
+		fmt.Fprintf(&b, "%8.2fs node %3d  %s → %s\n", tr.At, tr.Node, tr.From, tr.To)
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+// Package pas is the public API of the PAS reproduction: Prediction-based
+// Adaptive Sleeping for environment-monitoring wireless sensor networks
+// (Yang, Xu, Dai, Gu — ICPP Workshops 2007), together with the full
+// simulation substrate the paper's evaluation needs (discrete-event kernel,
+// Telos energy model, broadcast radio with loss models, diffusion-stimulus
+// front models including an advection–diffusion PDE plume, deployment
+// generators, the SAS and no-sleeping baselines, and a replicated-experiment
+// harness that regenerates every table and figure of the paper).
+//
+// # Quick start
+//
+//	sc := pas.PaperScenario()
+//	report, err := pas.Run(pas.RunConfig{
+//		Scenario: sc,
+//		Protocol: pas.ProtoPAS,
+//		Seed:     1,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(report)        // delay/energy/duty summary
+//	fmt.Println(report.Table()) // per-node breakdown
+//
+// # Regenerating the paper
+//
+//	for _, e := range pas.Experiments() {
+//		res, err := e.Run(pas.ExperimentOptions{})
+//		...
+//		fmt.Println(res.Render())
+//	}
+//
+// Lower-level building blocks (custom stimuli, hand-wired networks, custom
+// agents) are exposed through the type aliases below; see the examples/
+// directory for runnable walkthroughs.
+package pas
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/contour"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/diffusion"
+	"repro/internal/energy"
+	"repro/internal/experiment"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sas"
+	"repro/internal/trace"
+)
+
+// Protocol identifiers accepted by RunConfig.Protocol.
+const (
+	ProtoPAS  = experiment.ProtoPAS
+	ProtoSAS  = experiment.ProtoSAS
+	ProtoNS   = experiment.ProtoNS
+	ProtoDuty = experiment.ProtoDuty
+)
+
+// Core geometry and scenario types.
+type (
+	// Vec2 is a 2-D point/vector in metres.
+	Vec2 = geom.Vec2
+	// Rect is an axis-aligned field rectangle.
+	Rect = geom.Rect
+	// Scenario bundles a stimulus with its field and horizon.
+	Scenario = diffusion.Scenario
+	// Stimulus is the phenomenon interface (coverage + ground truth).
+	Stimulus = diffusion.Stimulus
+	// FrontModel adds boundary/velocity queries to a stimulus.
+	FrontModel = diffusion.FrontModel
+)
+
+// V constructs a Vec2.
+func V(x, y float64) Vec2 { return geom.V(x, y) }
+
+// R constructs a Rect from two corners.
+func R(x0, y0, x1, y1 float64) Rect { return geom.R(x0, y0, x1, y1) }
+
+// Protocol configuration types.
+type (
+	// PASConfig holds the PAS tunables (alert threshold, sleep ramp, ...).
+	PASConfig = core.Config
+	// SASConfig holds the SAS baseline tunables.
+	SASConfig = sas.Config
+	// EnergyProfile is the hardware power model (paper Table 1).
+	EnergyProfile = energy.Profile
+)
+
+// DefaultPASConfig returns the reproduction's PAS defaults.
+func DefaultPASConfig() PASConfig { return core.DefaultConfig() }
+
+// DefaultSASConfig returns the SAS defaults (mirroring PAS where shared).
+func DefaultSASConfig() SASConfig { return sas.DefaultConfig() }
+
+// Telos returns the Telos mote power profile of the paper's Table 1.
+func Telos() EnergyProfile { return energy.Telos() }
+
+// Simulation-running types.
+type (
+	// RunConfig describes one simulation run (scenario, protocol, seed,
+	// channel model, failure injection).
+	RunConfig = experiment.RunConfig
+	// RunReport is the collected outcome of one run.
+	RunReport = metrics.RunReport
+	// NodeReport is the per-node slice of a RunReport.
+	NodeReport = metrics.NodeReport
+	// Aggregate accumulates headline metrics across replicated runs.
+	Aggregate = metrics.Aggregate
+)
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg RunConfig) (RunReport, error) { return experiment.RunOnce(cfg) }
+
+// Replicate runs cfg once per seed and aggregates the headline metrics.
+func Replicate(cfg RunConfig, seeds []int64) (Aggregate, error) {
+	return experiment.Replicate(cfg, seeds)
+}
+
+// Seeds returns n deterministic replication seeds (1..n).
+func Seeds(n int) []int64 { return experiment.DefaultSeeds(n) }
+
+// Experiment-harness types.
+type (
+	// Experiment is one regenerable paper table/figure or extension.
+	Experiment = experiment.Experiment
+	// ExperimentOptions tunes replication and sweep size.
+	ExperimentOptions = experiment.Options
+	// ExperimentResult is a regenerated figure: curves + notes.
+	ExperimentResult = experiment.Result
+)
+
+// Experiments returns the full registry (paper figures + extensions).
+func Experiments() []Experiment { return experiment.All() }
+
+// LookupExperiment finds a registry entry by ID (e.g. "fig4").
+func LookupExperiment(id string) (Experiment, bool) { return experiment.Lookup(id) }
+
+// Scenario constructors.
+
+// PaperScenario is the radial-pollutant workload of the paper's Figs. 4–7.
+func PaperScenario() Scenario { return diffusion.PaperScenario() }
+
+// IrregularScenario is the paper workload with an anisotropic (Fig. 2-style
+// irregular) front.
+func IrregularScenario(seed int64) Scenario { return diffusion.IrregularScenario(seed) }
+
+// GasLeakScenario is an emergent advected release (paper §3.4 discussion).
+func GasLeakScenario() Scenario { return diffusion.GasLeakScenario() }
+
+// PlumeScenario integrates an advection–diffusion PDE plume (slower to
+// build; numerically irregular front).
+func PlumeScenario() (Scenario, error) { return diffusion.PlumeScenario() }
+
+// TwinSpillScenario is a two-source union stimulus.
+func TwinSpillScenario() Scenario { return diffusion.TwinSpillScenario() }
+
+// TerrainScenario is a heterogeneous-terrain front: the local spread speed
+// varies over the field and the ground truth solves the eikonal equation by
+// fast marching (slower to build).
+func TerrainScenario() (Scenario, error) { return diffusion.TerrainScenario() }
+
+// QuietScenario has no stimulus within the horizon — the surveillance-
+// lifetime workload.
+func QuietScenario() Scenario { return diffusion.QuietScenario() }
+
+// ScenarioNames lists the named scenarios accepted by ScenarioByName.
+func ScenarioNames() []string {
+	return []string{"paper", "irregular", "gasleak", "twinspill", "passing", "plume", "terrain", "quiet"}
+}
+
+// ScenarioByName resolves a scenario by its CLI name; seed parameterizes the
+// stochastic ones (irregular).
+func ScenarioByName(name string, seed int64) (Scenario, error) {
+	switch name {
+	case "paper", "":
+		return diffusion.PaperScenario(), nil
+	case "irregular":
+		return diffusion.IrregularScenario(seed), nil
+	case "gasleak":
+		return diffusion.GasLeakScenario(), nil
+	case "twinspill":
+		return diffusion.TwinSpillScenario(), nil
+	case "passing":
+		return diffusion.PassingPlumeScenario(), nil
+	case "plume":
+		return diffusion.PlumeScenario()
+	case "terrain":
+		return diffusion.TerrainScenario()
+	case "quiet":
+		return diffusion.QuietScenario(), nil
+	default:
+		return Scenario{}, fmt.Errorf("pas: unknown scenario %q (one of %v)", name, ScenarioNames())
+	}
+}
+
+// PassingPlumeScenario is a receding stimulus (finite dwell), driving the
+// covered→safe transition.
+func PassingPlumeScenario() Scenario { return diffusion.PassingPlumeScenario() }
+
+// Stimulus constructors for custom scenarios.
+
+// NewRadialFront grows a disc from origin at speed (m/s) starting at start.
+func NewRadialFront(origin Vec2, speed, start float64) FrontModel {
+	return diffusion.NewRadialFront(origin, speed, start)
+}
+
+// NewAdvectedFront grows a disc that also drifts with the wind.
+func NewAdvectedFront(origin Vec2, growth float64, drift Vec2, start float64) FrontModel {
+	return diffusion.NewAdvectedFront(origin, growth, drift, start)
+}
+
+// TerrainFrontConfig parameterizes a heterogeneous-terrain front: a speed
+// map sampled per grid cell, solved for first arrivals with fast marching.
+type TerrainFrontConfig = diffusion.TerrainConfig
+
+// NewTerrainFront solves the eikonal equation over the config's speed map
+// and returns the queryable front (speeds ≤ 0 are impassable barriers).
+func NewTerrainFront(cfg TerrainFrontConfig) (FrontModel, error) {
+	return diffusion.NewTerrainFront(cfg)
+}
+
+// Low-level network types for hand-wired simulations and custom agents.
+type (
+	// Network is a wired, runnable sensor field.
+	Network = node.Network
+	// NetworkConfig assembles a network from a deployment and agents.
+	NetworkConfig = node.NetworkConfig
+	// Node is one simulated mote.
+	Node = node.Node
+	// Agent is the protocol personality plugged into a node.
+	Agent = node.Agent
+	// NodeState is the protocol state (safe/alert/covered).
+	NodeState = node.State
+	// NodeID identifies a node on the radio medium.
+	NodeID = radio.NodeID
+	// Deployment is a set of node positions over a field.
+	Deployment = deploy.Deployment
+	// LossModel decides per-link packet delivery.
+	LossModel = radio.LossModel
+	// UnitDisk is the paper's channel model.
+	UnitDisk = radio.UnitDisk
+	// LossyDisk drops packets uniformly at random within range.
+	LossyDisk = radio.LossyDisk
+	// DistanceFalloff models the transitional reception region.
+	DistanceFalloff = radio.DistanceFalloff
+)
+
+// Node states.
+const (
+	StateSafe    = node.StateSafe
+	StateAlert   = node.StateAlert
+	StateCovered = node.StateCovered
+)
+
+// BuildNetwork wires a deployment, stimulus and agents into a runnable
+// network.
+func BuildNetwork(cfg NetworkConfig) *Network { return node.BuildNetwork(cfg) }
+
+// NewPASAgent constructs a PAS protocol agent.
+func NewPASAgent(cfg PASConfig) Agent { return core.New(cfg) }
+
+// NewSASAgent constructs a SAS baseline agent.
+func NewSASAgent(cfg SASConfig) Agent { return sas.New(cfg) }
+
+// NewNSAgent constructs the always-on baseline agent.
+func NewNSAgent() Agent { return baseline.NewNS() }
+
+// NewDutyCycleAgent constructs the fixed duty-cycling strawman.
+func NewDutyCycleAgent(period, onTime float64) Agent {
+	return baseline.NewDutyCycle(period, onTime)
+}
+
+// CollectMetrics builds a RunReport from a finished network.
+func CollectMetrics(nodes []*Node, horizon float64) RunReport {
+	return metrics.Collect(nodes, horizon)
+}
+
+// UniformDeployment draws a connected uniform deployment (panics when the
+// field/range/count combination cannot connect within maxAttempts).
+func UniformDeployment(seed int64, field Rect, n int, radioRange float64, maxAttempts int) *Deployment {
+	st := rng.NewSource(seed).Stream("deploy")
+	return deploy.ConnectedUniform(st, field, n, radioRange, maxAttempts)
+}
+
+// GridDeployment places nodes on a jittered lattice.
+func GridDeployment(seed int64, field Rect, nx, ny int, jitter float64) *Deployment {
+	st := rng.NewSource(seed).Stream("deploy")
+	return deploy.Grid(st, field, nx, ny, jitter)
+}
+
+// RenderField draws a Fig. 2-style ASCII snapshot of the field at time t.
+func RenderField(field Rect, stim Stimulus, nodes []*Node, t float64, w, h int) string {
+	return trace.RenderField(field, stim, nodes, t, w, h)
+}
+
+// StateLog records node state transitions for post-run inspection.
+type StateLog = trace.StateLog
+
+// Covered-area estimation (the monitoring system's deliverable).
+type (
+	// ContourEstimator aggregates detection reports into covered-area
+	// estimates (attach it to a network's nodes before running).
+	ContourEstimator = contour.Estimator
+	// AreaReport scores an area estimate against ground truth.
+	AreaReport = contour.AreaReport
+)
+
+// ContourAreaError Monte-Carlo-scores an estimated hull against the true
+// coverage at time t (seed drives the sampling).
+func ContourAreaError(est *ContourEstimator, stim Stimulus, field Rect, t float64, samples int, seed int64) AreaReport {
+	st := rng.NewSource(seed).Stream("contour-mc")
+	return contour.AreaError(est.EstimateHull(t), stim, field, t, samples, st)
+}
