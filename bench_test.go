@@ -7,6 +7,7 @@
 package pas_test
 
 import (
+	"runtime"
 	"testing"
 
 	pas "repro"
@@ -264,6 +265,42 @@ func BenchmarkFastMarching(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel replication engine ---
+
+// benchmarkReplicate times one multi-replication PAS cell at the given
+// parallelism; the Serial/Parallel pair below measures the worker pool's
+// wall-clock speedup rather than claiming it.
+func benchmarkReplicate(b *testing.B, parallelism int) {
+	rc := pas.RunConfig{Protocol: pas.ProtoPAS}
+	seeds := pas.Seeds(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pas.ReplicateParallel(rc, seeds, parallelism); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplicate8Serial(b *testing.B) { benchmarkReplicate(b, 1) }
+
+func BenchmarkReplicate8Parallel(b *testing.B) { benchmarkReplicate(b, runtime.GOMAXPROCS(0)) }
+
+// benchmarkFig4At regenerates Fig. 4 end-to-end (a 3-protocol × 2-point
+// Quick sweep replicated over 4 seeds) at the given parallelism.
+func benchmarkFig4At(b *testing.B, parallelism int) {
+	opts := pas.ExperimentOptions{Quick: true, Seeds: pas.Seeds(4), Parallelism: parallelism}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig4(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Serial(b *testing.B) { benchmarkFig4At(b, 1) }
+
+func BenchmarkFig4Parallel(b *testing.B) { benchmarkFig4At(b, runtime.GOMAXPROCS(0)) }
 
 // --- substrate micro-benchmarks ---
 

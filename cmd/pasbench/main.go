@@ -6,12 +6,15 @@
 //	pasbench -exp all                 # run everything, print text tables
 //	pasbench -exp fig4 -seeds 12      # one figure at higher replication
 //	pasbench -exp fig6 -csv out/      # also write long-form CSV
+//	pasbench -exp all -parallel 8     # fan runs out over 8 workers
 //	pasbench -list                    # show available experiment IDs
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -20,62 +23,101 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the parsed flag set of one pasbench invocation.
+type config struct {
+	expID  string
+	quick  bool
+	csvDir string
+	list   bool
+	opts   pas.ExperimentOptions
+}
+
+// parseFlags parses the command line into a config. Errors (including
+// -h/-help) are reported on stderr by the flag package.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("pasbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID  = flag.String("exp", "all", "experiment id to run, or 'all'")
-		seeds  = flag.Int("seeds", 0, "replication count (0 = experiment default)")
-		quick  = flag.Bool("quick", false, "reduced sweeps and replication")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		c        config
+		seeds    = fs.Int("seeds", 0, "replication count (0 = experiment default)")
+		parallel = fs.Int("parallel", 0, "concurrent simulation runs (0 = one per CPU, 1 = serial)")
 	)
-	flag.Parse()
-
-	if *list {
-		for _, e := range pas.Experiments() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
-		}
-		return
+	fs.StringVar(&c.expID, "exp", "all", "experiment id to run, or 'all'")
+	fs.BoolVar(&c.quick, "quick", false, "reduced sweeps and replication")
+	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-experiment CSV files")
+	fs.BoolVar(&c.list, "list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return c, err
 	}
-
-	opts := pas.ExperimentOptions{Quick: *quick}
+	c.opts = pas.ExperimentOptions{Quick: c.quick, Parallelism: *parallel}
 	if *seeds > 0 {
-		opts.Seeds = pas.Seeds(*seeds)
+		c.opts.Seeds = pas.Seeds(*seeds)
+	}
+	return c, nil
+}
+
+// selectExperiments resolves an -exp value against the registry.
+func selectExperiments(expID string) ([]pas.Experiment, error) {
+	if expID == "all" {
+		return pas.Experiments(), nil
+	}
+	e, ok := pas.LookupExperiment(expID)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (use -list)", expID)
+	}
+	return []pas.Experiment{e}, nil
+}
+
+// run executes one invocation and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
 	}
 
-	var targets []pas.Experiment
-	if *expID == "all" {
-		targets = pas.Experiments()
-	} else {
-		e, ok := pas.LookupExperiment(*expID)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "pasbench: unknown experiment %q (use -list)\n", *expID)
-			os.Exit(2)
+	if c.list {
+		for _, e := range pas.Experiments() {
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
-		targets = []pas.Experiment{e}
+		return 0
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "pasbench: %v\n", err)
-			os.Exit(1)
+	targets, err := selectExperiments(c.expID)
+	if err != nil {
+		fmt.Fprintf(stderr, "pasbench: %v\n", err)
+		return 2
+	}
+
+	if c.csvDir != "" {
+		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "pasbench: %v\n", err)
+			return 1
 		}
 	}
 
 	for _, e := range targets {
 		start := time.Now()
-		res, err := e.Run(opts)
+		res, err := e.Run(c.opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pasbench: %s: %v\n", e.ID, err)
+			return 1
 		}
-		fmt.Println(res.Render())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, e.ID+".csv")
+		fmt.Fprintln(stdout, res.Render())
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if c.csvDir != "" {
+			path := filepath.Join(c.csvDir, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "pasbench: writing %s: %v\n", path, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "pasbench: writing %s: %v\n", path, err)
+				return 1
 			}
-			fmt.Printf("wrote %s\n\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.expID != "all" || c.quick || c.list || c.csvDir != "" {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.opts.Parallelism != 0 {
+		t.Errorf("default Parallelism = %d, want 0 (one per CPU)", c.opts.Parallelism)
+	}
+	if c.opts.Seeds != nil {
+		t.Errorf("default Seeds = %v, want nil", c.opts.Seeds)
+	}
+}
+
+func TestParseFlagsParallelPlumbing(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags([]string{"-exp", "fig4", "-parallel", "4", "-seeds", "12", "-quick"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.Parallelism != 4 {
+		t.Errorf("Parallelism = %d, want 4", c.opts.Parallelism)
+	}
+	if len(c.opts.Seeds) != 12 {
+		t.Errorf("Seeds = %d, want 12", len(c.opts.Seeds))
+	}
+	if !c.opts.Quick {
+		t.Error("Quick not plumbed")
+	}
+}
+
+func TestParseFlagsBadFlag(t *testing.T) {
+	var stderr strings.Builder
+	if _, err := parseFlags([]string{"-nonsense"}, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "nonsense") {
+		t.Errorf("stderr = %q, want mention of the bad flag", stderr.String())
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) < 15 {
+		t.Fatalf("all: %d experiments, err %v", len(all), err)
+	}
+	one, err := selectExperiments("fig4")
+	if err != nil || len(one) != 1 || one[0].ID != "fig4" {
+		t.Fatalf("fig4: %+v, err %v", one, err)
+	}
+	if _, err := selectExperiments("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-exp", "fig99"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "fig99") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunBadFlagExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-parallel") {
+		t.Errorf("usage missing -parallel: %q", stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	for _, id := range []string{"fig4", "ext-plume", "ext-lifetime"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunTable1WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr strings.Builder
+	code := run([]string{"-exp", "table1", "-csv", dir, "-parallel", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "table1") {
+		t.Errorf("stdout missing table1: %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), filepath.Join(dir, "table1.csv")) {
+		t.Errorf("stdout missing CSV path: %q", stdout.String())
+	}
+}

@@ -1,70 +1,143 @@
 // Command passim runs a single simulation of one protocol over one scenario
-// and prints the run metrics (optionally the per-node table).
+// and prints the run metrics (optionally the per-node table), or replicates
+// the run across seeds in parallel and prints the aggregate.
 //
 // Usage:
 //
 //	passim -protocol pas -nodes 30 -range 10 -seed 1
 //	passim -protocol sas -scenario gasleak -table
 //	passim -protocol pas -maxsleep 30 -threshold 25 -loss 0.2 -fail 0.1
+//	passim -protocol pas -reps 16 -parallel 8
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	pas "repro"
 )
 
 func main() {
-	var (
-		protocol  = flag.String("protocol", "pas", "protocol: pas, sas, ns, duty")
-		scenario  = flag.String("scenario", "paper", "scenario: paper, irregular, gasleak, twinspill, passing, plume, terrain, quiet")
-		nodes     = flag.Int("nodes", 30, "deployment size")
-		radioRng  = flag.Float64("range", 10, "transmission range (m)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		maxSleep  = flag.Float64("maxsleep", 10, "maximum sleep interval (s)")
-		threshold = flag.Float64("threshold", 20, "PAS alert-time threshold (s)")
-		lossProb  = flag.Float64("loss", 0, "packet loss probability (0 = perfect unit disk)")
-		failFrac  = flag.Float64("fail", 0, "fraction of nodes to fail at random times")
-		table     = flag.Bool("table", false, "print the per-node table")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	sc, err := pas.ScenarioByName(*scenario, *seed)
+// config is the parsed flag set of one passim invocation.
+type config struct {
+	scenario string
+	seed     int64
+	reps     int
+	parallel int
+	table    bool
+	protocol string
+	nodes    int
+	radioRng float64
+	maxSleep float64
+	thresh   float64
+	lossProb float64
+	failFrac float64
+}
+
+// parseFlags parses the command line into a config.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("passim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.protocol, "protocol", "pas", "protocol: pas, sas, ns, duty")
+	fs.StringVar(&c.scenario, "scenario", "paper", "scenario: paper, irregular, gasleak, twinspill, passing, plume, terrain, quiet")
+	fs.IntVar(&c.nodes, "nodes", 30, "deployment size")
+	fs.Float64Var(&c.radioRng, "range", 10, "transmission range (m)")
+	fs.Int64Var(&c.seed, "seed", 1, "simulation seed (first seed with -reps)")
+	fs.IntVar(&c.reps, "reps", 1, "replication count; > 1 prints the aggregate over seeds seed..seed+reps-1")
+	fs.IntVar(&c.parallel, "parallel", 0, "concurrent replications (0 = one per CPU, 1 = serial)")
+	fs.Float64Var(&c.maxSleep, "maxsleep", 10, "maximum sleep interval (s)")
+	fs.Float64Var(&c.thresh, "threshold", 20, "PAS alert-time threshold (s)")
+	fs.Float64Var(&c.lossProb, "loss", 0, "packet loss probability (0 = perfect unit disk)")
+	fs.Float64Var(&c.failFrac, "fail", 0, "fraction of nodes to fail at random times")
+	fs.BoolVar(&c.table, "table", false, "print the per-node table")
+	err := fs.Parse(args)
+	return c, err
+}
+
+// buildRunConfig translates the flags into a simulation run config.
+func buildRunConfig(c config) (pas.RunConfig, error) {
+	sc, err := pas.ScenarioByName(c.scenario, c.seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "passim: %v\n", err)
-		os.Exit(2)
+		return pas.RunConfig{}, err
 	}
-
 	cfg := pas.RunConfig{
 		Scenario:     sc,
-		Nodes:        *nodes,
-		Range:        *radioRng,
-		Protocol:     *protocol,
-		Seed:         *seed,
-		FailFraction: *failFrac,
+		Nodes:        c.nodes,
+		Range:        c.radioRng,
+		Protocol:     c.protocol,
+		Seed:         c.seed,
+		FailFraction: c.failFrac,
 	}
 	cfg.PAS = pas.DefaultPASConfig()
-	cfg.PAS.SleepMax = *maxSleep
-	cfg.PAS.SleepIncrement = *maxSleep / 5
-	cfg.PAS.AlertThreshold = *threshold
+	cfg.PAS.SleepMax = c.maxSleep
+	cfg.PAS.SleepIncrement = c.maxSleep / 5
+	cfg.PAS.AlertThreshold = c.thresh
 	cfg.SAS = pas.DefaultSASConfig()
-	cfg.SAS.SleepMax = *maxSleep
-	cfg.SAS.SleepIncrement = *maxSleep / 5
-	if *lossProb > 0 {
-		cfg.Loss = pas.LossyDisk{Range: *radioRng, LossProb: *lossProb}
+	cfg.SAS.SleepMax = c.maxSleep
+	cfg.SAS.SleepIncrement = c.maxSleep / 5
+	if c.lossProb > 0 {
+		cfg.Loss = pas.LossyDisk{Range: c.radioRng, LossProb: c.lossProb}
+	}
+	return cfg, nil
+}
+
+// replicationSeeds lists the seeds of a -reps invocation.
+func replicationSeeds(first int64, reps int) []int64 {
+	seeds := make([]int64, reps)
+	for i := range seeds {
+		seeds[i] = first + int64(i)
+	}
+	return seeds
+}
+
+// run executes one invocation and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+	if c.reps > 1 && c.table {
+		fmt.Fprintln(stderr, "passim: -table needs a single run; drop -reps or run one seed")
+		return 2
+	}
+	cfg, err := buildRunConfig(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "passim: %v\n", err)
+		return 2
+	}
+
+	if c.reps > 1 {
+		agg, err := pas.ReplicateParallel(cfg, replicationSeeds(c.seed, c.reps), c.parallel)
+		if err != nil {
+			fmt.Fprintf(stderr, "passim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "scenario %-10s protocol %-5s nodes %d range %.0fm seeds %d..%d\n",
+			cfg.Scenario.Name, c.protocol, c.nodes, c.radioRng, c.seed, c.seed+int64(c.reps)-1)
+		fmt.Fprintln(stdout, agg.String())
+		return 0
 	}
 
 	report, err := pas.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "passim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "passim: %v\n", err)
+		return 1
 	}
-	fmt.Printf("scenario %-10s protocol %-5s nodes %d range %.0fm seed %d\n",
-		sc.Name, *protocol, *nodes, *radioRng, *seed)
-	fmt.Println(report)
-	if *table {
-		fmt.Print(report.Table())
+	fmt.Fprintf(stdout, "scenario %-10s protocol %-5s nodes %d range %.0fm seed %d\n",
+		cfg.Scenario.Name, c.protocol, c.nodes, c.radioRng, c.seed)
+	fmt.Fprintln(stdout, report)
+	if c.table {
+		fmt.Fprint(stdout, report.Table())
 	}
+	return 0
 }

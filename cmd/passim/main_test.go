@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsParallelPlumbing(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags([]string{"-reps", "4", "-parallel", "2", "-seed", "7"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.reps != 4 || c.parallel != 2 || c.seed != 7 {
+		t.Errorf("plumbing: %+v", c)
+	}
+}
+
+func TestParseFlagsBadFlag(t *testing.T) {
+	var stderr strings.Builder
+	if _, err := parseFlags([]string{"-warp", "9"}, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBuildRunConfigUnknownScenario(t *testing.T) {
+	c, err := parseFlags([]string{"-scenario", "atlantis"}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildRunConfig(c); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBuildRunConfigFlagsReachConfig(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-protocol", "sas", "-nodes", "42", "-range", "12",
+		"-maxsleep", "25", "-threshold", "15", "-loss", "0.2",
+	}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildRunConfig(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Protocol != "sas" || cfg.Nodes != 42 || cfg.Range != 12 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.PAS.SleepMax != 25 || cfg.PAS.SleepIncrement != 5 || cfg.PAS.AlertThreshold != 15 {
+		t.Errorf("PAS tunables not plumbed: %+v", cfg.PAS)
+	}
+	if cfg.SAS.SleepMax != 25 {
+		t.Errorf("SAS tunables not plumbed: %+v", cfg.SAS)
+	}
+	if cfg.Loss == nil {
+		t.Error("loss model not plumbed")
+	}
+}
+
+func TestReplicationSeeds(t *testing.T) {
+	got := replicationSeeds(5, 3)
+	want := []int64{5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seeds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownScenarioExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-scenario", "atlantis"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "atlantis") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-help"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-help exit code = %d, want 0", code)
+	}
+}
+
+func TestRunRepsWithTableRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-reps", "4", "-table"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-table") {
+		t.Errorf("stderr = %q, want mention of -table", stderr.String())
+	}
+}
+
+func TestRunUnknownProtocolExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-protocol", "bogus"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunSingleAndReplicated(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-seed", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("single run: exit %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "seed 1") {
+		t.Errorf("single-run header missing: %q", stdout.String())
+	}
+
+	// The replicated path must aggregate over seeds and be identical for
+	// serial and parallel execution.
+	var serial, parallel strings.Builder
+	if code := run([]string{"-reps", "3", "-parallel", "1"}, &serial, &stderr); code != 0 {
+		t.Fatalf("serial reps: exit %d, stderr %q", code, stderr.String())
+	}
+	if code := run([]string{"-reps", "3", "-parallel", "3"}, &parallel, &stderr); code != 0 {
+		t.Fatalf("parallel reps: exit %d, stderr %q", code, stderr.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("replicated output diverged:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if !strings.Contains(serial.String(), "seeds 1..3") {
+		t.Errorf("aggregate header missing: %q", serial.String())
+	}
+	if !strings.Contains(serial.String(), "runs 3") {
+		t.Errorf("aggregate body missing run count: %q", serial.String())
+	}
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// parallelism resolves the Options knob: non-positive means one worker per
+// CPU, 1 reproduces the historical serial sweep exactly.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runner.DefaultParallelism()
+}
+
+// runCells replicates every cell of a sweep across o's seeds. The flattened
+// (cell × seed) grid fans out to the worker pool and the reports fold back
+// in (cell, seed) order, so each aggregate — and therefore every rendered
+// figure — is bit-identical to a serial sweep at any parallelism.
+func runCells(o Options, cells []RunConfig) ([]metrics.Aggregate, error) {
+	seeds := o.seeds()
+	reports, err := runner.Map(o.parallelism(), len(cells)*len(seeds),
+		func(i int) (metrics.RunReport, error) {
+			rc := cells[i/len(seeds)]
+			rc.Seed = seeds[i%len(seeds)]
+			return RunOnce(rc)
+		})
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]metrics.Aggregate, len(cells))
+	for c := range cells {
+		for s := range seeds {
+			aggs[c].Add(reports[c*len(seeds)+s])
+		}
+	}
+	return aggs, nil
+}
+
+// runPoints reduces runCells to the headline delay/energy summary per cell.
+func runPoints(o Options, cells []RunConfig) ([]protoPoint, error) {
+	aggs, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]protoPoint, len(aggs))
+	for i, agg := range aggs {
+		pts[i] = protoPoint{
+			delay:    agg.Delay.Mean(),
+			delayCI:  agg.Delay.CI95(),
+			energy:   agg.Energy.Mean(),
+			energyCI: agg.Energy.CI95(),
+		}
+	}
+	return pts, nil
+}
+
+// sweepCurves runs a (variant × x) grid — the shape of most figures — and
+// returns one curve per variant with the y value extracted by pick.
+func sweepCurves(o Options, names []string, xs []float64,
+	cfg func(v, xi int) RunConfig,
+	pick func(metrics.Aggregate) (y, ci float64)) ([]Curve, error) {
+	cells := make([]RunConfig, 0, len(names)*len(xs))
+	for v := range names {
+		for xi := range xs {
+			cells = append(cells, cfg(v, xi))
+		}
+	}
+	aggs, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]Curve, len(names))
+	for v, name := range names {
+		pts := make([]Point, len(xs))
+		for xi, x := range xs {
+			y, ci := pick(aggs[v*len(xs)+xi])
+			pts[xi] = Point{X: x, Y: y, CI: ci}
+		}
+		curves[v] = Curve{Name: name, Points: pts}
+	}
+	return curves, nil
+}
+
+// delayOf and energyOf are the standard pick functions for sweepCurves.
+func delayOf(a metrics.Aggregate) (float64, float64)  { return a.Delay.Mean(), a.Delay.CI95() }
+func energyOf(a metrics.Aggregate) (float64, float64) { return a.Energy.Mean(), a.Energy.CI95() }

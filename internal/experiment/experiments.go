@@ -6,8 +6,10 @@ import (
 	"repro/internal/contour"
 	"repro/internal/diffusion"
 	"repro/internal/energy"
+	"repro/internal/metrics"
 	"repro/internal/radio"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -18,6 +20,11 @@ type Options struct {
 	Seeds []int64
 	// Quick shrinks sweeps and replication for smoke tests and benches.
 	Quick bool
+	// Parallelism caps how many simulation runs execute concurrently.
+	// Zero or negative means one worker per CPU (runtime.GOMAXPROCS); 1
+	// reproduces the serial path. Results are bit-identical at any value
+	// because aggregation is ordered by cell index, not completion order.
+	Parallelism int
 }
 
 func (o Options) seeds() []int64 {
@@ -75,24 +82,10 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// sweepEntry couples an x value with the aggregate of each protocol.
+// protoPoint is the headline aggregate of one replicated cell.
 type protoPoint struct {
 	delay, delayCI   float64
 	energy, energyCI float64
-}
-
-// runPoint replicates one (protocol, x) cell.
-func runPoint(rc RunConfig, seeds []int64) (protoPoint, error) {
-	agg, err := Replicate(rc, seeds)
-	if err != nil {
-		return protoPoint{}, err
-	}
-	return protoPoint{
-		delay:    agg.Delay.Mean(),
-		delayCI:  agg.Delay.CI95(),
-		energy:   agg.Energy.Mean(),
-		energyCI: agg.Energy.CI95(),
-	}, nil
 }
 
 // maxSleepConfig builds the paper's Figs. 4/6 run config for one protocol at
@@ -111,14 +104,22 @@ func maxSleepConfig(protocol string, maxSleep float64) RunConfig {
 // sweepMaxSleep runs NS/PAS/SAS across the Figs. 4/6 x-axis.
 func sweepMaxSleep(o Options) (map[string][]Point, map[string][]Point, []float64, error) {
 	xs := o.sweep([]float64{5, 10, 15, 20, 25, 30}, []float64{5, 30})
+	protos := []string{ProtoNS, ProtoPAS, ProtoSAS}
+	cells := make([]RunConfig, 0, len(protos)*len(xs))
+	for _, proto := range protos {
+		for _, x := range xs {
+			cells = append(cells, maxSleepConfig(proto, x))
+		}
+	}
+	pts, err := runPoints(o, cells)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	delay := map[string][]Point{}
 	energyPts := map[string][]Point{}
-	for _, proto := range []string{ProtoNS, ProtoPAS, ProtoSAS} {
-		for _, x := range xs {
-			pt, err := runPoint(maxSleepConfig(proto, x), o.seeds())
-			if err != nil {
-				return nil, nil, nil, err
-			}
+	for pi, proto := range protos {
+		for xi, x := range xs {
+			pt := pts[pi*len(xs)+xi]
 			delay[proto] = append(delay[proto], Point{X: x, Y: pt.delay, CI: pt.delayCI})
 			energyPts[proto] = append(energyPts[proto], Point{X: x, Y: pt.energy, CI: pt.energyCI})
 		}
@@ -209,14 +210,18 @@ func thresholdConfig(threshold float64) RunConfig {
 // sweepThreshold runs PAS across the Figs. 5/7 x-axis.
 func sweepThreshold(o Options) ([]Point, []Point, error) {
 	xs := o.sweep([]float64{10, 15, 20, 25, 30}, []float64{10, 30})
+	cells := make([]RunConfig, len(xs))
+	for i, x := range xs {
+		cells[i] = thresholdConfig(x)
+	}
+	pts, err := runPoints(o, cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var delay, energyPts []Point
-	for _, x := range xs {
-		pt, err := runPoint(thresholdConfig(x), o.seeds())
-		if err != nil {
-			return nil, nil, err
-		}
-		delay = append(delay, Point{X: x, Y: pt.delay, CI: pt.delayCI})
-		energyPts = append(energyPts, Point{X: x, Y: pt.energy, CI: pt.energyCI})
+	for i, x := range xs {
+		delay = append(delay, Point{X: x, Y: pts[i].delay, CI: pts[i].delayCI})
+		energyPts = append(energyPts, Point{X: x, Y: pts[i].energy, CI: pts[i].energyCI})
 	}
 	return delay, energyPts, nil
 }
@@ -261,20 +266,28 @@ func Fig7(o Options) (Result, error) {
 // ExtFailures sweeps the node-failure fraction (the paper's §5 future work).
 func ExtFailures(o Options) (Result, error) {
 	xs := o.sweep([]float64{0, 0.1, 0.2, 0.3}, []float64{0, 0.3})
-	var curves []Curve
-	var missedNote string
-	for _, proto := range []string{ProtoPAS, ProtoSAS} {
-		var pts []Point
+	protos := []string{ProtoPAS, ProtoSAS}
+	cells := make([]RunConfig, 0, len(protos)*len(xs))
+	for _, proto := range protos {
 		for _, x := range xs {
 			rc := maxSleepConfig(proto, 20)
 			rc.FailFraction = x
 			rc.FailBy = rc.Scenario.Horizon / 2
-			agg, err := Replicate(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
+			cells = append(cells, rc)
+		}
+	}
+	aggs, err := runCells(o, cells)
+	if err != nil {
+		return Result{}, err
+	}
+	var curves []Curve
+	var missedNote string
+	for pi, proto := range protos {
+		var pts []Point
+		for xi, x := range xs {
+			agg := aggs[pi*len(xs)+xi]
 			pts = append(pts, Point{X: x, Y: agg.Delay.Mean(), CI: agg.Delay.CI95()})
-			if x == xs[len(xs)-1] {
+			if xi == len(xs)-1 {
 				missedNote += fmt.Sprintf("%s misses %.1f nodes/run at %.0f%% failures; ",
 					proto, agg.Missed.Mean(), 100*x)
 			}
@@ -297,19 +310,15 @@ func ExtFailures(o Options) (Result, error) {
 // ExtLossy sweeps packet loss probability (the paper's §5 future work).
 func ExtLossy(o Options) (Result, error) {
 	xs := o.sweep([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}, []float64{0, 0.5})
-	var curves []Curve
-	for _, proto := range []string{ProtoPAS, ProtoSAS} {
-		var pts []Point
-		for _, x := range xs {
-			rc := maxSleepConfig(proto, 20)
-			rc.Loss = radio.LossyDisk{Range: rc.Range, LossProb: x}
-			agg, err := Replicate(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: agg.Delay.Mean(), CI: agg.Delay.CI95()})
-		}
-		curves = append(curves, Curve{Name: proto, Points: pts})
+	protos := []string{ProtoPAS, ProtoSAS}
+	curves, err := sweepCurves(o, protos, xs,
+		func(v, xi int) RunConfig {
+			rc := maxSleepConfig(protos[v], 20)
+			rc.Loss = radio.LossyDisk{Range: rc.Range, LossProb: xs[xi]}
+			return rc
+		}, delayOf)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID:     "ext-lossy",
@@ -339,17 +348,14 @@ func ExtDegenerate(o Options) (Result, error) {
 		{"SAS", func(ms float64) RunConfig { return maxSleepConfig(ProtoSAS, ms) }},
 		{"PAS (default)", func(ms float64) RunConfig { return maxSleepConfig(ProtoPAS, ms) }},
 	}
-	var curves []Curve
-	for _, v := range variants {
-		var pts []Point
-		for _, x := range xs {
-			pt, err := runPoint(v.rc(x), o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: pt.delay, CI: pt.delayCI})
-		}
-		curves = append(curves, Curve{Name: v.name, Points: pts})
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	curves, err := sweepCurves(o, names, xs,
+		func(v, xi int) RunConfig { return variants[v].rc(xs[xi]) }, delayOf)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID:     "ext-degenerate",
@@ -375,19 +381,18 @@ func ExtEstimator(o Options) (Result, error) {
 		{"mean", func(rc *RunConfig) { rc.PAS.UseMeanETA = true }},
 		{"actual-only", func(rc *RunConfig) { rc.PAS.DisableExpectedVelocity = true }},
 	}
-	var curves []Curve
-	for _, v := range variants {
-		var pts []Point
-		for _, x := range xs {
-			rc := maxSleepConfig(ProtoPAS, x)
-			v.mutate(&rc)
-			pt, err := runPoint(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: pt.delay, CI: pt.delayCI})
-		}
-		curves = append(curves, Curve{Name: v.name, Points: pts})
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	curves, err := sweepCurves(o, names, xs,
+		func(v, xi int) RunConfig {
+			rc := maxSleepConfig(ProtoPAS, xs[xi])
+			variants[v].mutate(&rc)
+			return rc
+		}, delayOf)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID:     "ext-estimator",
@@ -408,19 +413,15 @@ func ExtPlume(o Options) (Result, error) {
 		return Result{}, err
 	}
 	xs := o.sweep([]float64{5, 15, 30}, []float64{5, 30})
-	var curves []Curve
-	for _, proto := range []string{ProtoNS, ProtoPAS, ProtoSAS} {
-		var pts []Point
-		for _, x := range xs {
-			rc := maxSleepConfig(proto, x)
+	protos := []string{ProtoNS, ProtoPAS, ProtoSAS}
+	curves, err := sweepCurves(o, protos, xs,
+		func(v, xi int) RunConfig {
+			rc := maxSleepConfig(protos[v], xs[xi])
 			rc.Scenario = sc
-			pt, err := runPoint(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: pt.delay, CI: pt.delayCI})
-		}
-		curves = append(curves, Curve{Name: proto, Points: pts})
+			return rc
+		}, delayOf)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID:     "ext-plume",
@@ -443,26 +444,29 @@ func ExtLifetime(o Options) (Result, error) {
 	const batteryJ = 0.8 // scaled so every protocol dies within the horizon
 	sc := diffusion.QuietScenario()
 	xs := o.sweep([]float64{5, 10, 20, 30}, []float64{5, 30})
-	var curves []Curve
-	var notes []string
-	for _, proto := range []string{ProtoNS, ProtoPAS, ProtoSAS} {
-		var pts []Point
-		for _, x := range xs {
-			rc := maxSleepConfig(proto, x)
+	protos := []string{ProtoNS, ProtoPAS, ProtoSAS}
+	curves, err := sweepCurves(o, protos, xs,
+		func(v, xi int) RunConfig {
+			rc := maxSleepConfig(protos[v], xs[xi])
 			rc.Scenario = sc
 			rc.BatteryJ = batteryJ
-			agg, err := Replicate(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: agg.FirstDeath.Mean(), CI: agg.FirstDeath.CI95()})
-			if proto != ProtoNS && x == xs[len(xs)-1] {
-				notes = append(notes, fmt.Sprintf(
-					"%s extends first-death lifetime %.1f× over always-on at maxSleep %.0f",
-					proto, agg.FirstDeath.Mean()/(batteryJ/0.041), x))
-			}
+			return rc
+		},
+		func(a metrics.Aggregate) (float64, float64) {
+			return a.FirstDeath.Mean(), a.FirstDeath.CI95()
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	var notes []string
+	for _, c := range curves {
+		if c.Name == ProtoNS {
+			continue
 		}
-		curves = append(curves, Curve{Name: proto, Points: pts})
+		last := c.Points[len(c.Points)-1]
+		notes = append(notes, fmt.Sprintf(
+			"%s extends first-death lifetime %.1f× over always-on at maxSleep %.0f",
+			c.Name, last.Y/(batteryJ/0.041), last.X))
 	}
 	notes = append(notes,
 		"quiet field: no stimulus within the horizon; the draw is pure surveillance overhead",
@@ -492,20 +496,19 @@ func ExtCollisions(o Options) (Result, error) {
 		{"pas (collisions)", true, nil},
 		{"pas (collisions+CSMA)", true, &csma},
 	}
-	var curves []Curve
-	for _, v := range variants {
-		var pts []Point
-		for _, x := range xs {
-			rc := maxSleepConfig(ProtoPAS, x)
-			rc.Collisions = v.collisions
-			rc.CSMA = v.csma
-			pt, err := runPoint(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: pt.delay, CI: pt.delayCI})
-		}
-		curves = append(curves, Curve{Name: v.name, Points: pts})
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	curves, err := sweepCurves(o, names, xs,
+		func(v, xi int) RunConfig {
+			rc := maxSleepConfig(ProtoPAS, xs[xi])
+			rc.Collisions = variants[v].collisions
+			rc.CSMA = variants[v].csma
+			return rc
+		}, delayOf)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID:     "ext-collisions",
@@ -530,28 +533,43 @@ func ExtContour(o Options) (Result, error) {
 	// Sample the estimate while the front is crossing (full coverage ≈ 99 s).
 	times := o.sweep([]float64{40, 55, 70, 85}, []float64{40, 85})
 	const mcSamples = 4000
-	var curves []Curve
-	for _, proto := range []string{ProtoNS, ProtoPAS, ProtoSAS} {
-		accs := make([]stats.Accumulator, len(times))
-		for _, seed := range o.seeds() {
-			rc := maxSleepConfig(proto, 20)
+	protos := []string{ProtoNS, ProtoPAS, ProtoSAS}
+	seeds := o.seeds()
+	// One job per (protocol, seed): run the network with a contour estimator
+	// attached, then Monte-Carlo-score the hull at every sample time.
+	errFracs, err := runner.Map(o.parallelism(), len(protos)*len(seeds),
+		func(i int) ([]float64, error) {
+			rc := maxSleepConfig(protos[i/len(seeds)], 20)
 			rc.Scenario = sc
-			rc.Seed = seed
+			rc.Seed = seeds[i%len(seeds)]
 			nw, rcd, err := Build(rc)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			var est contour.Estimator
 			est.Attach(nw.Nodes)
 			nw.Run(rcd.Scenario.Horizon)
-			st := rng.NewSource(seed).Stream("contour-mc")
-			for i, rep := range contour.Timeline(&est, sc.Stimulus, sc.Field, times, mcSamples, st) {
-				accs[i].Add(rep.ErrFrac)
+			st := rng.NewSource(rc.Seed).Stream("contour-mc")
+			out := make([]float64, len(times))
+			for ti, rep := range contour.Timeline(&est, sc.Stimulus, sc.Field, times, mcSamples, st) {
+				out[ti] = rep.ErrFrac
+			}
+			return out, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	var curves []Curve
+	for pi, proto := range protos {
+		accs := make([]stats.Accumulator, len(times))
+		for si := range seeds {
+			for ti := range times {
+				accs[ti].Add(errFracs[pi*len(seeds)+si][ti])
 			}
 		}
 		pts := make([]Point, len(times))
-		for i, tt := range times {
-			pts[i] = Point{X: tt, Y: accs[i].Mean(), CI: accs[i].CI95()}
+		for ti, tt := range times {
+			pts[ti] = Point{X: tt, Y: accs[ti].Mean(), CI: accs[ti].CI95()}
 		}
 		curves = append(curves, Curve{Name: proto, Points: pts})
 	}
@@ -577,19 +595,15 @@ func ExtTerrain(o Options) (Result, error) {
 		return Result{}, err
 	}
 	xs := o.sweep([]float64{5, 15, 30}, []float64{5, 30})
-	var curves []Curve
-	for _, proto := range []string{ProtoNS, ProtoPAS, ProtoSAS} {
-		var pts []Point
-		for _, x := range xs {
-			rc := maxSleepConfig(proto, x)
+	protos := []string{ProtoNS, ProtoPAS, ProtoSAS}
+	curves, err := sweepCurves(o, protos, xs,
+		func(v, xi int) RunConfig {
+			rc := maxSleepConfig(protos[v], xs[xi])
 			rc.Scenario = sc
-			pt, err := runPoint(rc, o.seeds())
-			if err != nil {
-				return Result{}, err
-			}
-			pts = append(pts, Point{X: x, Y: pt.delay, CI: pt.delayCI})
-		}
-		curves = append(curves, Curve{Name: proto, Points: pts})
+			return rc
+		}, delayOf)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID:     "ext-terrain",
@@ -606,16 +620,22 @@ func ExtTerrain(o Options) (Result, error) {
 // ExtDensity sweeps the deployment size at the paper's field and range.
 func ExtDensity(o Options) (Result, error) {
 	xs := o.sweep([]float64{25, 30, 45, 60}, []float64{30, 60})
-	var delayPts, energyPts []Point
-	for _, x := range xs {
+	cells := make([]RunConfig, len(xs))
+	for i, x := range xs {
 		rc := maxSleepConfig(ProtoPAS, 20)
 		rc.Nodes = int(x)
-		agg, err := Replicate(rc, o.seeds())
-		if err != nil {
-			return Result{}, err
-		}
-		delayPts = append(delayPts, Point{X: x, Y: agg.Delay.Mean(), CI: agg.Delay.CI95()})
-		energyPts = append(energyPts, Point{X: x, Y: agg.Energy.Mean(), CI: agg.Energy.CI95()})
+		cells[i] = rc
+	}
+	aggs, err := runCells(o, cells)
+	if err != nil {
+		return Result{}, err
+	}
+	var delayPts, energyPts []Point
+	for i, x := range xs {
+		dy, dci := delayOf(aggs[i])
+		ey, eci := energyOf(aggs[i])
+		delayPts = append(delayPts, Point{X: x, Y: dy, CI: dci})
+		energyPts = append(energyPts, Point{X: x, Y: ey, CI: eci})
 	}
 	return Result{
 		ID:     "ext-density",

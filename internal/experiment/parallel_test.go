@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParallelDeterminism verifies the tentpole guarantee of the parallel
+// replication engine: rendered experiment output is byte-identical between
+// the serial path (-parallel 1) and a fan-out over 8 workers for the same
+// seeds, across a paper figure and two structurally different extensions
+// (ext-plume shares one PDE scenario across all workers; ext-lifetime
+// aggregates a censored lifetime metric).
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"fig4", "ext-plume", "ext-lifetime"} {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			base := Options{Quick: true, Seeds: DefaultSeeds(3)}
+
+			serial := base
+			serial.Parallelism = 1
+			resSerial, err := exp.Run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			parallel := base
+			parallel.Parallelism = 8
+			resParallel, err := exp.Run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if s, p := resSerial.Render(), resParallel.Render(); s != p {
+				t.Errorf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+			if s, p := resSerial.CSV(), resParallel.CSV(); s != p {
+				t.Errorf("parallel CSV diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}
+
+// TestReplicateParallelMatchesSerial pins the lower-level API: the
+// aggregates must match field-for-field at any parallelism.
+func TestReplicateParallelMatchesSerial(t *testing.T) {
+	rc := RunConfig{Protocol: ProtoPAS}
+	seeds := DefaultSeeds(4)
+	serial, err := Replicate(rc, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 8} {
+		par, err := ReplicateParallel(rc, seeds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != par {
+			t.Errorf("parallelism %d: aggregate diverged:\nserial:   %+v\nparallel: %+v", p, serial, par)
+		}
+	}
+}
+
+// TestReplicateParallelErrorPropagation checks a broken config surfaces its
+// error through the pool instead of deadlocking or panicking.
+func TestReplicateParallelErrorPropagation(t *testing.T) {
+	rc := RunConfig{Protocol: "bogus"}
+	if _, err := ReplicateParallel(rc, DefaultSeeds(4), 4); err == nil {
+		t.Fatal("bogus protocol accepted")
+	} else if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestOptionsParallelismDefault pins the knob's resolution rules.
+func TestOptionsParallelismDefault(t *testing.T) {
+	if got := (Options{}).parallelism(); got < 1 {
+		t.Errorf("default parallelism = %d, want >= 1", got)
+	}
+	if got := (Options{Parallelism: 3}).parallelism(); got != 3 {
+		t.Errorf("explicit parallelism = %d, want 3", got)
+	}
+	if got := (Options{Parallelism: -2}).parallelism(); got < 1 {
+		t.Errorf("negative parallelism resolved to %d, want >= 1", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/radio"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sas"
 )
 
@@ -164,15 +165,26 @@ func RunOnce(rc RunConfig) (metrics.RunReport, error) {
 }
 
 // Replicate runs the config once per seed and aggregates the headline
-// metrics.
+// metrics. Replication is serial; ReplicateParallel fans the runs out.
 func Replicate(rc RunConfig, seeds []int64) (metrics.Aggregate, error) {
+	return ReplicateParallel(rc, seeds, 1)
+}
+
+// ReplicateParallel runs the config once per seed across a pool of
+// parallelism workers (non-positive means one per CPU) and folds the
+// reports in seed order, so the aggregate is bit-identical to a serial
+// replication at any parallelism.
+func ReplicateParallel(rc RunConfig, seeds []int64, parallelism int) (metrics.Aggregate, error) {
 	var agg metrics.Aggregate
-	for _, seed := range seeds {
-		rc.Seed = seed
-		rep, err := RunOnce(rc)
-		if err != nil {
-			return agg, err
-		}
+	reports, err := runner.Map(parallelism, len(seeds), func(i int) (metrics.RunReport, error) {
+		rc := rc
+		rc.Seed = seeds[i]
+		return RunOnce(rc)
+	})
+	if err != nil {
+		return agg, err
+	}
+	for _, rep := range reports {
 		agg.Add(rep)
 	}
 	return agg, nil

@@ -1,0 +1,100 @@
+// Package runner is the parallel replication engine of the experiment
+// harness. Every (experiment × sweep-point × protocol × seed) cell of the
+// paper's evaluation is an independent simulation, so the harness fans cells
+// out across a worker pool and merges results deterministically: results are
+// keyed and ordered by job index, never by completion order, which makes the
+// parallel output bit-identical to a serial run over the same jobs.
+//
+// The pool claims jobs from an atomic counter (work stealing without a
+// queue), stops claiming on the first error, and reports the error of the
+// lowest-indexed failed job so error propagation is deterministic too.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelism is the worker count used when a caller passes a
+// non-positive parallelism: one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs n index-addressed jobs on a pool of parallelism workers and
+// returns the results in job-index order. A non-positive parallelism means
+// DefaultParallelism; parallelism 1 runs the jobs serially in index order on
+// the calling goroutine, reproducing a plain loop exactly.
+//
+// On error the pool cancels: no new jobs are claimed, in-flight jobs finish,
+// and Map returns the error of the lowest-indexed job that failed. Results
+// are nil on error.
+func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if parallelism <= 0 {
+		parallelism = DefaultParallelism()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	out := make([]T, n)
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next    atomic.Int64 // next job index to claim
+		stop    atomic.Bool  // set on first error; halts claiming
+		errMu   sync.Mutex
+		errIdx  = n // lowest failed index seen so far
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := job(i)
+				if err != nil {
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}
+
+// Each is Map for side-effecting jobs with no result value.
+func Each(parallelism, n int, job func(i int) error) error {
+	_, err := Map(parallelism, n, func(i int) (struct{}, error) {
+		return struct{}{}, job(i)
+	})
+	return err
+}

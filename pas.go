@@ -27,6 +27,39 @@
 //		fmt.Println(res.Render())
 //	}
 //
+// # Parallel replication
+//
+// Every (experiment × sweep-point × protocol × seed) cell of the evaluation
+// is an independent simulation, and the harness fans cells out across a
+// worker pool (internal/runner). ExperimentOptions.Parallelism caps the
+// number of runs in flight: 0 (the default) uses one worker per CPU, 1
+// reproduces the serial path. Results are merged in cell order, never in
+// completion order, so output is bit-identical at any parallelism. The same
+// knob is exposed as -parallel on the pasbench and passim CLIs, and as
+// ReplicateParallel in this package.
+//
+// # Module layout
+//
+// The module is named repro. The public API lives in this root package;
+// cmd/passim (single runs), cmd/pasbench (figure regeneration) and
+// cmd/pasviz (ASCII animation) are the CLIs; examples/ holds runnable
+// walkthroughs. The simulation substrate is under internal/: sim (event
+// kernel), node/radio/energy (the mote model), core/sas/baseline (the
+// protocols), diffusion/geom (stimulus front models), deploy, rng, metrics,
+// stats, contour, trace, and runner (the parallel replication engine) —
+// experiment ties them into the replicated harness.
+//
+// # Local verification
+//
+// CI (.github/workflows/ci.yml) runs exactly these commands; run them
+// locally before sending a change:
+//
+//	go build ./...
+//	go vet ./...
+//	gofmt -l .          # must print nothing
+//	go test -race ./...
+//	go test -run '^$' -bench=. -benchtime=1x ./...   # quick bench smoke
+//
 // Lower-level building blocks (custom stimuli, hand-wired networks, custom
 // agents) are exposed through the type aliases below; see the examples/
 // directory for runnable walkthroughs.
@@ -115,8 +148,17 @@ type (
 func Run(cfg RunConfig) (RunReport, error) { return experiment.RunOnce(cfg) }
 
 // Replicate runs cfg once per seed and aggregates the headline metrics.
+// Replication is serial; ReplicateParallel fans the runs out.
 func Replicate(cfg RunConfig, seeds []int64) (Aggregate, error) {
 	return experiment.Replicate(cfg, seeds)
+}
+
+// ReplicateParallel runs cfg once per seed across a worker pool
+// (parallelism <= 0 means one worker per CPU, 1 is serial) and folds the
+// reports in seed order, so the aggregate is bit-identical to Replicate at
+// any parallelism.
+func ReplicateParallel(cfg RunConfig, seeds []int64, parallelism int) (Aggregate, error) {
+	return experiment.ReplicateParallel(cfg, seeds, parallelism)
 }
 
 // Seeds returns n deterministic replication seeds (1..n).
