@@ -306,11 +306,29 @@ func BenchmarkFig4Parallel(b *testing.B) { benchmarkFig4At(b, runtime.GOMAXPROCS
 
 func BenchmarkKernelEventThroughput(b *testing.B) {
 	k := sim.NewKernel()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Schedule(1, func(*sim.Kernel) {})
 		k.Step()
 	}
+}
+
+// BenchmarkKernelScheduleCancel exercises the O(1) stamp-check Cancel with
+// lazy heap removal: a deep queue where half the events die before popping.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := sim.NewKernel()
+	h := func(*sim.Kernel) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := k.Schedule(2, h)
+		k.Schedule(1, h)
+		k.Cancel(id)
+		k.Step()
+	}
+	b.StopTimer()
+	k.Run()
 }
 
 func BenchmarkPASSingleRun(b *testing.B) {
@@ -382,9 +400,11 @@ func BenchmarkResponseCodec(b *testing.B) {
 		Velocity: geom.V(0.5, 0.25), HasVelocity: true,
 		PredictedArrival: 42, DetectedAt: 40, Detected: true,
 	}
+	buf := r.Encode() // pre-grow the reused buffer
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf := r.Encode()
+		buf = r.AppendEncode(buf[:0])
 		if _, err := core.DecodeResponse(buf); err != nil {
 			b.Fatal(err)
 		}

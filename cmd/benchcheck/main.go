@@ -1,0 +1,191 @@
+// Command benchcheck compares `go test -bench` output against a committed
+// JSON baseline (BENCH_1.json at the repo root) and warns about performance
+// regressions. It has no dependencies outside the standard library, so CI can
+// `go run ./cmd/benchcheck` without installing anything.
+//
+// By default regressions are warnings and the exit code stays 0 — benchmark
+// numbers on shared CI runners are noisy, so the check surfaces drift without
+// blocking merges; -strict turns warnings into a non-zero exit for local
+// gating.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1s . | go run ./cmd/benchcheck -baseline BENCH_1.json
+//	go run ./cmd/benchcheck -baseline BENCH_1.json -threshold 0.2 bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// BaselineEntry is one benchmark's committed reference numbers.
+type BaselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the schema of BENCH_1.json.
+type Baseline struct {
+	Generated  string                   `json:"generated"`
+	Note       string                   `json:"note,omitempty"`
+	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// result holds one benchmark's parsed current numbers.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// gomaxprocsSuffix strips the trailing -N that `go test` appends to
+// benchmark names (the GOMAXPROCS at run time), so baselines compare across
+// machines with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts ns/op and allocs/op per benchmark from `go test
+// -bench` text output. Unknown lines and custom metrics are ignored. A
+// benchmark that appears several times (e.g. -count>1) keeps its last
+// occurrence.
+func parseBenchOutput(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var res result
+		seen := false
+		// After the name and iteration count, the line is (value, unit)
+		// pairs: "123 ns/op 45 B/op 6 allocs/op <custom metrics...>".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsPerOp = v
+				seen = true
+			case "allocs/op":
+				res.allocsPerOp = v
+				res.hasAllocs = true
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare returns one warning line per regression of current against
+// baseline. A benchmark regresses when its ns/op or allocs/op exceed the
+// baseline by more than threshold (fractional, e.g. 0.2 = 20%). The
+// multiplicative threshold keeps zero-alloc baselines exact — any allocation
+// at all warns — while tolerating the small allocs/op jitter of benchmarks
+// whose per-iteration work varies with the seed. Benchmarks missing from the
+// current output are reported too — a silently vanished benchmark must not
+// hide a regression.
+func compare(baseline Baseline, current map[string]result, threshold float64) []string {
+	var warnings []string
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic report order
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current[name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: missing from current benchmark output", name))
+			continue
+		}
+		if base.NsPerOp > 0 && cur.nsPerOp > base.NsPerOp*(1+threshold) {
+			warnings = append(warnings, fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (+%.0f%%, threshold %.0f%%)",
+				name, cur.nsPerOp, base.NsPerOp, 100*(cur.nsPerOp/base.NsPerOp-1), 100*threshold))
+		}
+		if cur.hasAllocs && cur.allocsPerOp > base.AllocsPerOp*(1+threshold) {
+			warnings = append(warnings, fmt.Sprintf("%s: %.4g allocs/op vs baseline %.4g — per-op garbage reintroduced",
+				name, cur.allocsPerOp, base.AllocsPerOp))
+		}
+	}
+	return warnings
+}
+
+// run executes one invocation and returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_1.json", "baseline JSON file")
+		threshold    = fs.Float64("threshold", 0.20, "fractional ns/op regression tolerance")
+		strict       = fs.Bool("strict", false, "exit non-zero when regressions are found")
+	)
+	err := fs.Parse(args)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 2
+	}
+	var baseline Baseline
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(stderr, "benchcheck: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: reading benchmark output: %v\n", err)
+		return 2
+	}
+
+	warnings := compare(baseline, current, *threshold)
+	for _, w := range warnings {
+		// ::warning:: renders as an annotation on GitHub Actions and is
+		// harmless plain text everywhere else.
+		fmt.Fprintf(stdout, "::warning::benchcheck: %s\n", w)
+	}
+	if len(warnings) == 0 {
+		fmt.Fprintf(stdout, "benchcheck: %d benchmarks within %.0f%% of %s\n",
+			len(baseline.Benchmarks), 100**threshold, *baselinePath)
+	}
+	if *strict && len(warnings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelEventThroughput 	179442174	        13.64 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPASSingleRun-8        	     540	   4416787 ns/op	 1862279 B/op	   20834 allocs/op
+BenchmarkFig4Parallel          	      39	  56556300 ns/op	        12.30 pas-delay-s	22440022 B/op	  276963 allocs/op
+PASS
+ok  	repro	9.930s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	k := got["BenchmarkKernelEventThroughput"]
+	if k.nsPerOp != 13.64 || k.allocsPerOp != 0 || !k.hasAllocs {
+		t.Errorf("kernel = %+v", k)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if _, ok := got["BenchmarkPASSingleRun"]; !ok {
+		t.Errorf("GOMAXPROCS suffix not normalized: %v", got)
+	}
+	// Custom metrics between ns/op and allocs/op must not confuse the pairs.
+	f := got["BenchmarkFig4Parallel"]
+	if f.nsPerOp != 56556300 || f.allocsPerOp != 276963 {
+		t.Errorf("fig4 = %+v", f)
+	}
+}
+
+func baselineFixture() Baseline {
+	return Baseline{
+		Benchmarks: map[string]BaselineEntry{
+			"BenchmarkKernelEventThroughput": {NsPerOp: 13.64, AllocsPerOp: 0},
+			"BenchmarkPASSingleRun":          {NsPerOp: 4416787, AllocsPerOp: 20834},
+		},
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 14.0, allocsPerOp: 0, hasAllocs: true},
+		// Slight allocs/op jitter (seed-dependent benchmarks vary with b.N)
+		// must stay inside the threshold.
+		"BenchmarkPASSingleRun": {nsPerOp: 4500000, allocsPerOp: 20900, hasAllocs: true},
+	}
+	if w := compare(baselineFixture(), current, 0.20); len(w) != 0 {
+		t.Errorf("clean run produced warnings: %v", w)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 30.0, allocsPerOp: 0, hasAllocs: true},
+		"BenchmarkPASSingleRun":          {nsPerOp: 4416787, allocsPerOp: 20834, hasAllocs: true},
+	}
+	w := compare(baselineFixture(), current, 0.20)
+	if len(w) != 1 || !strings.Contains(w[0], "BenchmarkKernelEventThroughput") {
+		t.Errorf("warnings = %v", w)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 13.0, allocsPerOp: 1, hasAllocs: true},
+		"BenchmarkPASSingleRun":          {nsPerOp: 4416787, allocsPerOp: 20834, hasAllocs: true},
+	}
+	w := compare(baselineFixture(), current, 0.20)
+	if len(w) != 1 || !strings.Contains(w[0], "allocs/op") {
+		t.Errorf("warnings = %v", w)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	w := compare(baselineFixture(), map[string]result{}, 0.20)
+	if len(w) != 2 {
+		t.Errorf("warnings = %v, want one per missing benchmark", w)
+	}
+}
+
+func TestCompareImprovementIsSilent(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 5.0, allocsPerOp: 0, hasAllocs: true},
+		"BenchmarkPASSingleRun":          {nsPerOp: 2000000, allocsPerOp: 100, hasAllocs: true},
+	}
+	if w := compare(baselineFixture(), current, 0.20); len(w) != 0 {
+		t.Errorf("improvements warned: %v", w)
+	}
+}
+
+func writeBaselineFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	data := `{"generated":"test","benchmarks":{
+		"BenchmarkKernelEventThroughput":{"ns_per_op":13.64,"allocs_per_op":0}}}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", writeBaselineFile(t)},
+		strings.NewReader(sampleOutput), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "within") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunRegressionWarnsButExitsZero(t *testing.T) {
+	regressed := strings.ReplaceAll(sampleOutput, "13.64 ns/op", "99.99 ns/op")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", writeBaselineFile(t)},
+		strings.NewReader(regressed), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (warn-only by default)", code)
+	}
+	if !strings.Contains(stdout.String(), "::warning::") {
+		t.Errorf("stdout = %q, want a warning annotation", stdout.String())
+	}
+}
+
+func TestRunStrictExitsNonZero(t *testing.T) {
+	regressed := strings.ReplaceAll(sampleOutput, "13.64 ns/op", "99.99 ns/op")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", writeBaselineFile(t), "-strict"},
+		strings.NewReader(regressed), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 with -strict", code)
+	}
+}
+
+func TestRunMissingBaselineFile(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(sampleOutput), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunInputFromFileArg(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", writeBaselineFile(t), benchPath},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+}

@@ -8,6 +8,12 @@
 //	pasbench -exp fig6 -csv out/      # also write long-form CSV
 //	pasbench -exp all -parallel 8     # fan runs out over 8 workers
 //	pasbench -list                    # show available experiment IDs
+//
+// Hot-path investigations profile the harness directly, no hand-written
+// pprof scaffolding needed:
+//
+//	pasbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	pas "repro"
@@ -28,11 +36,13 @@ func main() {
 
 // config is the parsed flag set of one pasbench invocation.
 type config struct {
-	expID  string
-	quick  bool
-	csvDir string
-	list   bool
-	opts   pas.ExperimentOptions
+	expID      string
+	quick      bool
+	csvDir     string
+	list       bool
+	cpuProfile string
+	memProfile string
+	opts       pas.ExperimentOptions
 }
 
 // parseFlags parses the command line into a config. Errors (including
@@ -49,6 +59,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.BoolVar(&c.quick, "quick", false, "reduced sweeps and replication")
 	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-experiment CSV files")
 	fs.BoolVar(&c.list, "list", false, "list experiment ids and exit")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -101,6 +113,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	stopProfiles, err := startProfiles(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "pasbench: %v\n", err)
+		return 1
+	}
+	code := runExperiments(c, targets, stdout, stderr)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(stderr, "pasbench: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// startProfiles starts CPU profiling when configured and returns a stop
+// function that finalizes the CPU profile and writes the heap profile.
+func startProfiles(c config) (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.cpuProfile != "" {
+		cpuFile, err = os.Create(c.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if c.memProfile != "" {
+			f, err := os.Create(c.memProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// runExperiments executes the selected experiments, printing tables and CSVs.
+func runExperiments(c config, targets []pas.Experiment, stdout, stderr io.Writer) int {
 	for _, e := range targets {
 		start := time.Now()
 		res, err := e.Run(c.opts)

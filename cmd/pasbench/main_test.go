@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -115,5 +116,58 @@ func TestRunTable1WithCSV(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), filepath.Join(dir, "table1.csv")) {
 		t.Errorf("stdout missing CSV path: %q", stdout.String())
+	}
+}
+
+func TestParseFlagsProfilePlumbing(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cpuProfile != "cpu.out" || c.memProfile != "mem.out" {
+		t.Errorf("profile flags = %q, %q", c.cpuProfile, c.memProfile)
+	}
+}
+
+func TestParseFlagsProfileDefaultsOff(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cpuProfile != "" || c.memProfile != "" {
+		t.Errorf("profiles default on: %q, %q", c.cpuProfile, c.memProfile)
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-exp", "table1", "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestRunBadProfilePathFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-exp", "table1", "-cpuprofile", filepath.Join(t.TempDir(), "no-such-dir", "cpu.out")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if stderr.String() == "" {
+		t.Error("no error reported for unwritable profile path")
 	}
 }

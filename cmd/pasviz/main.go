@@ -13,55 +13,95 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	pas "repro"
 )
 
 func main() {
-	var (
-		protocol  = flag.String("protocol", "pas", "protocol: pas, sas, ns, duty")
-		scenario  = flag.String("scenario", "paper", "scenario name (see pas.ScenarioNames)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		nodes     = flag.Int("nodes", 30, "deployment size")
-		every     = flag.Float64("every", 10, "seconds of virtual time per frame")
-		width     = flag.Int("width", 60, "frame width in characters")
-		height    = flag.Int("height", 24, "frame height in characters")
-		threshold = flag.Float64("threshold", 20, "PAS alert-time threshold (s)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	sc, err := pas.ScenarioByName(*scenario, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pasviz: %v\n", err)
-		os.Exit(2)
+// config is the parsed flag set of one pasviz invocation.
+type config struct {
+	protocol  string
+	scenario  string
+	seed      int64
+	nodes     int
+	every     float64
+	width     int
+	height    int
+	threshold float64
+}
+
+// parseFlags parses the command line into a config. Errors (including
+// -h/-help) are reported on stderr by the flag package.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("pasviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.protocol, "protocol", "pas", "protocol: pas, sas, ns, duty")
+	fs.StringVar(&c.scenario, "scenario", "paper", "scenario name (see pas.ScenarioNames)")
+	fs.Int64Var(&c.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&c.nodes, "nodes", 30, "deployment size")
+	fs.Float64Var(&c.every, "every", 10, "seconds of virtual time per frame")
+	fs.IntVar(&c.width, "width", 60, "frame width in characters")
+	fs.IntVar(&c.height, "height", 24, "frame height in characters")
+	fs.Float64Var(&c.threshold, "threshold", 20, "PAS alert-time threshold (s)")
+	err := fs.Parse(args)
+	return c, err
+}
+
+// agentFactory resolves the protocol name to an agent constructor.
+func agentFactory(c config) (func() pas.Agent, error) {
+	switch c.protocol {
+	case "pas":
+		cfg := pas.DefaultPASConfig()
+		cfg.AlertThreshold = c.threshold
+		return func() pas.Agent { return pas.NewPASAgent(cfg) }, nil
+	case "sas":
+		return func() pas.Agent { return pas.NewSASAgent(pas.DefaultSASConfig()) }, nil
+	case "ns":
+		return func() pas.Agent { return pas.NewNSAgent() }, nil
+	case "duty":
+		return func() pas.Agent { return pas.NewDutyCycleAgent(10, 1) }, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", c.protocol)
 	}
+}
+
+// run executes one invocation and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+
+	sc, err := pas.ScenarioByName(c.scenario, c.seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "pasviz: %v\n", err)
+		return 2
+	}
+	mk, err := agentFactory(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "pasviz: %v\n", err)
+		return 2
+	}
+
 	// Scale the radio range with the field so larger scenarios stay
 	// connected at the default node count.
 	radioRange := 10.0
 	if sc.Field.Width() > 50 {
 		radioRange = sc.Field.Width() / 4
 	}
-	dep := pas.UniformDeployment(*seed, sc.Field, *nodes, radioRange, 2000)
-
-	var mk func() pas.Agent
-	switch *protocol {
-	case "pas":
-		cfg := pas.DefaultPASConfig()
-		cfg.AlertThreshold = *threshold
-		mk = func() pas.Agent { return pas.NewPASAgent(cfg) }
-	case "sas":
-		mk = func() pas.Agent { return pas.NewSASAgent(pas.DefaultSASConfig()) }
-	case "ns":
-		mk = func() pas.Agent { return pas.NewNSAgent() }
-	case "duty":
-		mk = func() pas.Agent { return pas.NewDutyCycleAgent(10, 1) }
-	default:
-		fmt.Fprintf(os.Stderr, "pasviz: unknown protocol %q\n", *protocol)
-		os.Exit(2)
-	}
+	dep := pas.UniformDeployment(c.seed, sc.Field, c.nodes, radioRange, 2000)
 
 	nw := pas.BuildNetwork(pas.NetworkConfig{
 		Deployment: dep,
@@ -76,16 +116,17 @@ func main() {
 	for _, n := range nw.Nodes {
 		n.Start()
 	}
-	for t := *every; t <= sc.Horizon; t += *every {
+	for t := c.every; t <= sc.Horizon; t += c.every {
 		nw.Kernel.RunUntil(t)
-		fmt.Print(pas.RenderField(sc.Field, sc.Stimulus, nw.Nodes, t, *width, *height))
-		fmt.Println()
+		fmt.Fprint(stdout, pas.RenderField(sc.Field, sc.Stimulus, nw.Nodes, t, c.width, c.height))
+		fmt.Fprintln(stdout)
 	}
 	for _, n := range nw.Nodes {
 		n.Finish(sc.Horizon)
 	}
 
 	rep := pas.CollectMetrics(nw.Nodes, sc.Horizon)
-	fmt.Println(rep)
-	fmt.Println(log.Summary())
+	fmt.Fprintln(stdout, rep)
+	fmt.Fprintln(stdout, log.Summary())
+	return 0
 }

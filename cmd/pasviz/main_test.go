@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := config{protocol: "pas", scenario: "paper", seed: 1, nodes: 30,
+		every: 10, width: 60, height: 24, threshold: 20}
+	if c != want {
+		t.Errorf("defaults = %+v, want %+v", c, want)
+	}
+}
+
+func TestParseFlagsPlumbing(t *testing.T) {
+	var stderr strings.Builder
+	c, err := parseFlags([]string{
+		"-protocol", "sas", "-scenario", "quiet", "-seed", "9",
+		"-nodes", "12", "-every", "25", "-width", "40", "-height", "10",
+		"-threshold", "15",
+	}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := config{protocol: "sas", scenario: "quiet", seed: 9, nodes: 12,
+		every: 25, width: 40, height: 10, threshold: 15}
+	if c != want {
+		t.Errorf("plumbing = %+v, want %+v", c, want)
+	}
+}
+
+func TestParseFlagsBadFlag(t *testing.T) {
+	var stderr strings.Builder
+	if _, err := parseFlags([]string{"-warp", "9"}, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "warp") {
+		t.Errorf("stderr = %q, want mention of the bad flag", stderr.String())
+	}
+}
+
+func TestAgentFactoryKnownProtocols(t *testing.T) {
+	for _, proto := range []string{"pas", "sas", "ns", "duty"} {
+		mk, err := agentFactory(config{protocol: proto, threshold: 20})
+		if err != nil {
+			t.Errorf("%s: %v", proto, err)
+			continue
+		}
+		if mk() == nil {
+			t.Errorf("%s: nil agent", proto)
+		}
+	}
+}
+
+func TestRunUnknownProtocolExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-protocol", "tdma"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "tdma") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunUnknownScenarioExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-scenario", "atlantis"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "atlantis") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunBadFlagExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-protocol") {
+		t.Errorf("usage missing -protocol: %q", stderr.String())
+	}
+}
+
+func TestRunRendersFrames(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-every", "100", "-width", "30", "-height", "10", "-nodes", "12"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "t=") {
+		t.Errorf("no frames rendered: %q", out)
+	}
+	if !strings.Contains(out, "~") {
+		t.Errorf("no stimulus glyphs in output: %q", out)
+	}
+}

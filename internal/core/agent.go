@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/node"
@@ -27,6 +27,7 @@ import (
 type Agent struct {
 	cfg      Config
 	reports  map[radio.NodeID]NeighborReport
+	scratch  []NeighborReport // reused snapshot buffer for the estimators
 	schedule *SleepSchedule
 
 	velocity    geom.Vec2
@@ -327,12 +328,15 @@ func (a *Agent) sendResponse(n *node.Node) {
 	})
 }
 
-// reportSlice snapshots the report table in deterministic (ID) order.
+// reportSlice snapshots the report table in deterministic (ID) order. The
+// backing buffer is reused across calls — the estimators it feeds only read
+// the slice during the call, so this is allocation-free at steady state.
 func (a *Agent) reportSlice() []NeighborReport {
-	out := make([]NeighborReport, 0, len(a.reports))
+	out := a.scratch[:0]
 	for _, r := range a.reports {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(x, y NeighborReport) int { return int(x.ID) - int(y.ID) })
+	a.scratch = out
 	return out
 }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+)
+
+func codecFixture() Response {
+	return Response{
+		Pos: geom.V(1, 2), State: node.StateAlert,
+		Velocity: geom.V(0.5, 0.25), HasVelocity: true,
+		PredictedArrival: 42, DetectedAt: 40, Detected: true,
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	r := codecFixture()
+	if !bytes.Equal(r.Encode(), r.AppendEncode(nil)) {
+		t.Error("AppendEncode(nil) differs from Encode()")
+	}
+	prefix := []byte{0xde, 0xad}
+	out := r.AppendEncode(prefix)
+	if !bytes.Equal(out[:2], prefix) || !bytes.Equal(out[2:], r.Encode()) {
+		t.Error("AppendEncode does not append after an existing prefix")
+	}
+}
+
+// TestResponseCodecZeroAllocsSteadyState pins the encode → decode round trip
+// at zero allocations with a reused buffer, so future codec changes can't
+// silently reintroduce per-message garbage on the trace/dump paths.
+func TestResponseCodecZeroAllocsSteadyState(t *testing.T) {
+	r := codecFixture()
+	buf := r.Encode() // pre-grow the buffer
+	var decoded Response
+	var decodeErr error
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = r.AppendEncode(buf[:0])
+		decoded, decodeErr = DecodeResponse(buf)
+	})
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if decoded != r {
+		t.Fatalf("round trip = %+v, want %+v", decoded, r)
+	}
+	if allocs != 0 {
+		t.Errorf("codec round trip allocates %g allocs/op, want 0", allocs)
+	}
+}

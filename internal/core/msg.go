@@ -69,9 +69,16 @@ func (Response) Size() int { return headerBytes + responsePayload }
 // Encode serializes the response payload (excluding the simulated-only radio
 // header) for codec tests and trace dumps. The simulation itself passes
 // messages by value; Encode/Decode prove the message is wire-realizable.
+// Encode allocates the result; hot paths should use AppendEncode with a
+// reused buffer.
 func (r Response) Encode() []byte {
-	buf := make([]byte, responsePayload)
-	buf[0] = byte(MsgResponse)
+	return r.AppendEncode(make([]byte, 0, responsePayload))
+}
+
+// AppendEncode appends the encoded payload to dst and returns the extended
+// slice. With a pre-grown buffer (dst[:0] of a prior result) the encode →
+// decode round trip is allocation-free.
+func (r Response) AppendEncode(dst []byte) []byte {
 	var flags byte
 	if r.HasVelocity {
 		flags |= 1
@@ -79,17 +86,15 @@ func (r Response) Encode() []byte {
 	if r.Detected {
 		flags |= 2
 	}
-	buf[1] = flags
-	off := 2
-	for _, f := range []float64{r.Pos.X, r.Pos.Y, r.Velocity.X, r.Velocity.Y, r.PredictedArrival, r.DetectedAt} {
-		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(f))
-		off += 8
+	dst = append(dst, byte(MsgResponse), flags)
+	for _, f := range [...]float64{r.Pos.X, r.Pos.Y, r.Velocity.X, r.Velocity.Y, r.PredictedArrival, r.DetectedAt} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 	}
-	buf[off] = byte(r.State)
-	return buf
+	return append(dst, byte(r.State))
 }
 
-// DecodeResponse parses a payload produced by Encode.
+// DecodeResponse parses a payload produced by Encode. It reads the buffer in
+// place and allocates nothing.
 func DecodeResponse(buf []byte) (Response, error) {
 	if len(buf) != responsePayload {
 		return Response{}, fmt.Errorf("core: response payload is %d bytes, want %d", len(buf), responsePayload)
@@ -101,7 +106,7 @@ func DecodeResponse(buf []byte) (Response, error) {
 	flags := buf[1]
 	r.HasVelocity = flags&1 != 0
 	r.Detected = flags&2 != 0
-	vals := make([]float64, 6)
+	var vals [6]float64
 	off := 2
 	for i := range vals {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))

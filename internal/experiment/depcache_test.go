@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestDeploymentCacheSharesIdenticalDraws(t *testing.T) {
+	field := geom.R(0, 0, 30, 30)
+	a := connectedUniformCached(12345, field, 30, 10, 2000)
+	b := connectedUniformCached(12345, field, 30, 10, 2000)
+	if a != b {
+		t.Error("identical keys returned distinct deployments")
+	}
+	// The cached result must be byte-identical to a direct draw.
+	direct := deploy.ConnectedUniform(rng.NewSource(12345).Stream("deploy"), field, 30, 10, 2000)
+	if len(direct.Positions) != len(a.Positions) {
+		t.Fatalf("cached %d positions, direct %d", len(a.Positions), len(direct.Positions))
+	}
+	for i := range direct.Positions {
+		if direct.Positions[i] != a.Positions[i] {
+			t.Fatalf("position %d: cached %v, direct %v", i, a.Positions[i], direct.Positions[i])
+		}
+	}
+}
+
+func TestDeploymentCacheKeysAreDistinct(t *testing.T) {
+	field := geom.R(0, 0, 30, 30)
+	base := connectedUniformCached(777, field, 30, 10, 2000)
+	if other := connectedUniformCached(778, field, 30, 10, 2000); other == base {
+		t.Error("different seeds shared a deployment")
+	}
+	if other := connectedUniformCached(777, field, 25, 10, 2000); other == base {
+		t.Error("different node counts shared a deployment")
+	}
+	if other := connectedUniformCached(777, field, 30, 12, 2000); other == base {
+		t.Error("different radii shared a deployment")
+	}
+}
+
+func TestDeploymentCacheConcurrentAccess(t *testing.T) {
+	field := geom.R(0, 0, 30, 30)
+	const workers = 8
+	results := make([]*deploy.Deployment, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = connectedUniformCached(424242, field, 30, 10, 2000)
+		}(w)
+	}
+	wg.Wait()
+	for w, d := range results {
+		if d == nil || len(d.Positions) != 30 {
+			t.Fatalf("worker %d got bad deployment %v", w, d)
+		}
+		// Racing workers may each compute the draw, but every result must be
+		// identical position-for-position.
+		for i := range d.Positions {
+			if d.Positions[i] != results[0].Positions[i] {
+				t.Fatalf("worker %d diverged at position %d", w, i)
+			}
+		}
+	}
+}
+
+func TestDeploymentCacheHitsAcrossProtocols(t *testing.T) {
+	// Two protocols at the same (seed, field, nodes, range) — the shape of
+	// every sweep — must share one deployment draw.
+	h0, m0 := depCacheStats()
+	for _, proto := range []string{ProtoPAS, ProtoSAS, ProtoNS} {
+		rc := RunConfig{Protocol: proto, Seed: 31337}
+		if _, err := RunOnce(rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, m1 := depCacheStats()
+	if gotMisses := m1 - m0; gotMisses > 1 {
+		t.Errorf("3 protocols at one seed caused %d cache misses, want ≤ 1", gotMisses)
+	}
+	if gotHits := h1 - h0; gotHits < 2 {
+		t.Errorf("3 protocols at one seed caused %d cache hits, want ≥ 2", gotHits)
+	}
+}

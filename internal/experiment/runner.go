@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/deploy"
 	"repro/internal/diffusion"
 	"repro/internal/energy"
 	"repro/internal/metrics"
@@ -120,7 +119,10 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 		return nil, rc, err
 	}
 	src := rng.NewSource(rc.Seed)
-	dep := deploy.ConnectedUniform(src.Stream("deploy"), rc.Scenario.Field, rc.Nodes, rc.Range, 2000)
+	// Deployments are memoized: every cell sharing (seed, field, nodes,
+	// range) reuses one immutable deployment instead of re-running the
+	// rejection sampler (see depcache.go).
+	dep := connectedUniformCached(rc.Seed, rc.Scenario.Field, rc.Nodes, rc.Range, 2000)
 	loss := rc.Loss
 	if loss == nil {
 		loss = radio.UnitDisk{Range: rc.Range}

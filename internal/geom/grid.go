@@ -133,25 +133,34 @@ func NewSpatialHash(bounds Rect, cell float64, points []Vec2) *SpatialHash {
 }
 
 // Near returns the indices of all points within radius r of q, in ascending
-// index order.
+// index order. It allocates a fresh result slice; hot paths that query every
+// event should use NearAppend with a reused buffer instead.
 func (h *SpatialHash) Near(q Vec2, r float64) []int {
+	return h.NearAppend(nil, q, r)
+}
+
+// NearAppend appends the indices of all points within radius r of q to dst
+// and returns the extended slice, with the appended region in ascending index
+// order. Passing dst[:0] of a scratch buffer makes repeated queries
+// allocation-free once the buffer has grown to the largest neighbourhood.
+func (h *SpatialHash) NearAppend(dst []int, q Vec2, r float64) []int {
 	i0, j0 := h.grid.Cell(q.Sub(Vec2{r, r}))
 	i1, j1 := h.grid.Cell(q.Add(Vec2{r, r}))
-	var out []int
+	start := len(dst)
 	r2 := r * r
 	for j := j0; j <= j1; j++ {
 		for i := i0; i <= i1; i++ {
 			for _, idx := range h.buckets[h.grid.Index(i, j)] {
 				if h.points[idx].Dist2(q) <= r2 {
-					out = append(out, idx)
+					dst = append(dst, idx)
 				}
 			}
 		}
 	}
 	// Buckets are scanned in row-major order so indices inside one bucket are
 	// ascending, but across buckets they are not; sort for deterministic use.
-	insertionSortInts(out)
-	return out
+	insertionSortInts(dst[start:])
+	return dst
 }
 
 func insertionSortInts(a []int) {

@@ -89,6 +89,7 @@ type Node struct {
 	arrival    float64 // ground-truth arrival time (possibly +Inf)
 
 	wake      *sim.Timer
+	wakeFn    sim.Handler // cached wake callback, reused across sleeps
 	txCount   int
 	rxCount   int
 	stateTime [3]float64 // residency per state
@@ -98,6 +99,7 @@ type Node struct {
 	// the moment its meter would exceed it.
 	battery    float64
 	deathTimer *sim.Timer
+	deathFn    sim.Handler // cached exhaustion callback
 	diedAt     float64
 	dead       bool // exhausted battery (distinct from injected failure)
 
@@ -138,6 +140,7 @@ func New(cfg Config) *Node {
 	}
 	n.meter = energy.NewMeter(cfg.Profile, cfg.Kernel.Now(), energy.ModeActive)
 	n.wake = sim.NewTimer(cfg.Kernel)
+	n.wakeFn = func(*sim.Kernel) { n.wakeUp() }
 	cfg.Medium.AddNode(cfg.ID, cfg.Pos, n, n.meter)
 
 	// Ground-truth arrival: an awake sensor detects at this exact instant.
@@ -227,7 +230,7 @@ func (n *Node) Sleep(d float64) {
 	n.awake = false
 	n.meter.SetMode(n.kernel.Now(), energy.ModeSleep)
 	n.rescheduleDeath()
-	n.wake.Reset(d, func(*sim.Kernel) { n.wakeUp() })
+	n.wake.Reset(d, n.wakeFn)
 }
 
 // wakeUp transitions to awake and routes to the agent.
@@ -343,6 +346,7 @@ func (n *Node) SetBattery(joules float64) {
 	n.battery = joules
 	if n.deathTimer == nil {
 		n.deathTimer = sim.NewTimer(n.kernel)
+		n.deathFn = func(*sim.Kernel) { n.dieOfBattery() }
 	}
 	n.rescheduleDeath()
 }
@@ -368,7 +372,7 @@ func (n *Node) rescheduleDeath() {
 		n.deathTimer.Stop()
 		return
 	}
-	n.deathTimer.Reset(remaining/draw, func(*sim.Kernel) { n.dieOfBattery() })
+	n.deathTimer.Reset(remaining/draw, n.deathFn)
 }
 
 // dieOfBattery marks exhaustion and kills the node.

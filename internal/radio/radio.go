@@ -156,11 +156,13 @@ type Medium struct {
 	hash      *geom.SpatialHash // rebuilt lazily after AddNode
 	positions []geom.Vec2
 	ids       []NodeID
+	eps       []*endpoint // dense endpoints aligned with ids/positions
 	bounds    geom.Rect
 	stats     Stats
 
 	csma     *CSMAConfig
 	inFlight []flight // active transmissions, pruned lazily
+	near     []int    // scratch for spatial-hash queries, reused per broadcast
 }
 
 // flight is one transmission in the air (for carrier sensing).
@@ -233,16 +235,22 @@ func (m *Medium) AddNode(id NodeID, pos geom.Vec2, r Receiver, meter *energy.Met
 	m.hash = nil // invalidate the spatial index
 }
 
-// rebuild refreshes the spatial index after registration changes.
+// rebuild refreshes the spatial index after registration changes. The
+// id/position/endpoint slices are reused across rebuilds so the steady state
+// (registration finished, simulation running) allocates only when the hash
+// itself is reconstructed.
 func (m *Medium) rebuild() {
 	m.ids = m.ids[:0]
 	for id := range m.endpoints {
 		m.ids = append(m.ids, id)
 	}
 	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
-	m.positions = make([]geom.Vec2, len(m.ids))
-	for i, id := range m.ids {
-		m.positions[i] = m.endpoints[id].pos
+	m.positions = m.positions[:0]
+	m.eps = m.eps[:0]
+	for _, id := range m.ids {
+		ep := m.endpoints[id]
+		m.positions = append(m.positions, ep.pos)
+		m.eps = append(m.eps, ep)
 	}
 	cell := m.loss.MaxRange()
 	if cell <= 0 {
@@ -302,12 +310,17 @@ func (m *Medium) Broadcast(from NodeID, msg Message) {
 		m.inFlight = append(m.inFlight, flight{pos: sender.pos, end: end})
 	}
 
-	for _, i := range m.hash.Near(sender.pos, m.loss.MaxRange()) {
+	// The neighbour query reuses m.near: the loop below only schedules
+	// delivery events and never re-enters Broadcast (CSMA retries and agent
+	// responses run later, from kernel callbacks), so the scratch buffer is
+	// not live across a nested query.
+	m.near = m.hash.NearAppend(m.near[:0], sender.pos, m.loss.MaxRange())
+	for _, i := range m.near {
 		id := m.ids[i]
 		if id == from {
 			continue
 		}
-		target := m.endpoints[id]
+		target := m.eps[i]
 		dist := sender.pos.Dist(target.pos)
 		if !m.loss.Delivers(dist, m.stream) {
 			m.stats.DroppedLoss++

@@ -7,7 +7,9 @@
 //
 // The pool claims jobs from an atomic counter (work stealing without a
 // queue), stops claiming on the first error, and reports the error of the
-// lowest-indexed failed job so error propagation is deterministic too.
+// lowest-indexed job that actually failed. Note that which jobs run before
+// the pool stops depends on goroutine scheduling, so under parallelism the
+// reported error can differ between runs that have multiple failing jobs.
 package runner
 
 import (

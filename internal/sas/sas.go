@@ -14,7 +14,7 @@ package sas
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/node"
@@ -72,6 +72,7 @@ func DefaultConfig() Config {
 type Agent struct {
 	cfg      Config
 	reports  map[radio.NodeID]core.NeighborReport
+	scratch  []core.NeighborReport // reused snapshot buffer
 	schedule *core.SleepSchedule
 
 	speed    float64 // scalar spreading-speed estimate (0 = unknown)
@@ -296,11 +297,14 @@ func (a *Agent) sendResponse(n *node.Node) {
 	})
 }
 
+// sortedReports snapshots the report table in deterministic (ID) order into
+// a reused buffer; callers only read the slice during the call.
 func (a *Agent) sortedReports() []core.NeighborReport {
-	out := make([]core.NeighborReport, 0, len(a.reports))
+	out := a.scratch[:0]
 	for _, r := range a.reports {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(x, y core.NeighborReport) int { return int(x.ID) - int(y.ID) })
+	a.scratch = out
 	return out
 }

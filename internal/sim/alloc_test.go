@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// The kernel promises zero steady-state allocations: once the arena, heap and
+// freelist have grown to the simulation's working set, Schedule/Step/Cancel
+// recycle slots instead of allocating. These regression tests pin that
+// property so future changes can't silently reintroduce per-event garbage.
+
+func TestScheduleStepZeroAllocsSteadyState(t *testing.T) {
+	k := NewKernel()
+	h := func(*Kernel) {}
+	// Warm up: grow the arena/heap/freelist past the loop's working set.
+	for i := 0; i < 64; i++ {
+		k.Schedule(Time(i%7), h)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(1, h)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule+Step allocates %g allocs/op, want 0", allocs)
+	}
+}
+
+func TestScheduleCancelZeroAllocsSteadyState(t *testing.T) {
+	k := NewKernel()
+	h := func(*Kernel) {}
+	for i := 0; i < 64; i++ {
+		k.Schedule(1, h)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := k.Schedule(1, h)
+		k.Cancel(id)
+		k.Schedule(2, h) // force the dead slot through a lazy pop
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule+Cancel+Step allocates %g allocs/op, want 0", allocs)
+	}
+}
+
+func TestTimerResetZeroAllocsSteadyState(t *testing.T) {
+	k := NewKernel()
+	tm := NewTimer(k)
+	h := func(*Kernel) {}
+	tm.Reset(1, h) // first arm builds the trampoline
+	tm.Stop()
+	for i := 0; i < 64; i++ {
+		k.Schedule(1, func(*Kernel) {})
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(1, h)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Timer Reset+Stop allocates %g allocs/op, want 0", allocs)
+	}
+}

@@ -2,12 +2,18 @@ package sim
 
 // Timer is a restartable one-shot timer bound to a kernel, analogous to
 // time.Timer but in virtual time. Protocol agents use it for wake-ups and
-// detection timeouts that are frequently re-armed or cancelled.
+// detection timeouts that are frequently re-armed or cancelled. The timer
+// reuses one internal trampoline closure across re-arms, so Reset/Stop on the
+// simulation hot path allocate nothing (as long as the caller also reuses its
+// handler closure).
 type Timer struct {
 	k       *Kernel
 	id      EventID
 	armed   bool
 	Expires Time // absolute expiry time while armed
+
+	h    Handler // handler of the current arm
+	fire Handler // cached trampoline scheduled on the kernel
 }
 
 // NewTimer returns an unarmed timer bound to k.
@@ -16,28 +22,27 @@ func NewTimer(k *Kernel) *Timer { return &Timer{k: k} }
 // Armed reports whether the timer is currently pending.
 func (t *Timer) Armed() bool { return t.armed }
 
-// Reset (re)arms the timer to fire h after delay, cancelling any previous
-// schedule.
-func (t *Timer) Reset(delay Time, h Handler) {
-	t.Stop()
-	t.Expires = t.k.Now() + delay
-	t.armed = true
-	t.id = t.k.Schedule(delay, func(k *Kernel) {
-		t.armed = false
-		h(k)
-	})
-}
-
-// ResetAt (re)arms the timer to fire h at absolute time at.
-func (t *Timer) ResetAt(at Time, h Handler) {
+// arm schedules the cached trampoline at absolute time at.
+func (t *Timer) arm(at Time, h Handler) {
 	t.Stop()
 	t.Expires = at
 	t.armed = true
-	t.id = t.k.ScheduleAt(at, func(k *Kernel) {
-		t.armed = false
-		h(k)
-	})
+	t.h = h
+	if t.fire == nil {
+		t.fire = func(k *Kernel) {
+			t.armed = false
+			t.h(k)
+		}
+	}
+	t.id = t.k.ScheduleAt(at, t.fire)
 }
+
+// Reset (re)arms the timer to fire h after delay, cancelling any previous
+// schedule.
+func (t *Timer) Reset(delay Time, h Handler) { t.arm(t.k.Now()+delay, h) }
+
+// ResetAt (re)arms the timer to fire h at absolute time at.
+func (t *Timer) ResetAt(at Time, h Handler) { t.arm(at, h) }
 
 // Stop cancels the timer if armed, reporting whether it was armed.
 func (t *Timer) Stop() bool {

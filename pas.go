@@ -38,16 +38,45 @@
 // knob is exposed as -parallel on the pasbench and passim CLIs, and as
 // ReplicateParallel in this package.
 //
+// # Performance
+//
+// The run path is engineered for zero steady-state allocations, because
+// kernel overhead taxes every cell the replication engine fans out:
+//
+//   - internal/sim is an arena-based discrete-event kernel: events live in a
+//     flat slice recycled through a freelist, the priority queue is a 4-ary
+//     heap of slot indices (no container/heap interface boxing), and
+//     EventIDs are generation-tagged so Cancel is an O(1) stamp check with
+//     lazy removal at pop. Steady-state Schedule/Step/Cancel — and
+//     sim.Timer re-arms — allocate nothing; regression tests pin 0
+//     allocs/op.
+//   - internal/radio reuses its spatial-hash neighbour scratch, in-flight
+//     list and rebuild buffers across broadcasts.
+//   - internal/experiment memoizes deployments: every cell sharing (seed,
+//     field, nodes, range) reuses one immutable deployment instead of
+//     re-running the connected-uniform rejection sampler per protocol.
+//
+// To profile a hot path, run the harness under pprof directly:
+//
+//	pasbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+//
+// BENCH_1.json pins the benchmark baseline; `go run ./cmd/benchcheck`
+// compares fresh `go test -bench` output against it (CI does this
+// automatically, warning on >20% drift in ns/op or allocs/op — for the
+// zero-alloc baselines any allocation at all warns).
+//
 // # Module layout
 //
 // The module is named repro. The public API lives in this root package;
-// cmd/passim (single runs), cmd/pasbench (figure regeneration) and
-// cmd/pasviz (ASCII animation) are the CLIs; examples/ holds runnable
-// walkthroughs. The simulation substrate is under internal/: sim (event
-// kernel), node/radio/energy (the mote model), core/sas/baseline (the
-// protocols), diffusion/geom (stimulus front models), deploy, rng, metrics,
-// stats, contour, trace, and runner (the parallel replication engine) —
-// experiment ties them into the replicated harness.
+// cmd/passim (single runs), cmd/pasbench (figure regeneration), cmd/pasviz
+// (ASCII animation) and cmd/benchcheck (benchmark-baseline comparison) are
+// the CLIs; examples/ holds runnable walkthroughs. The simulation substrate
+// is under internal/: sim (event kernel), node/radio/energy (the mote
+// model), core/sas/baseline (the protocols), diffusion/geom (stimulus front
+// models), deploy, rng, metrics, stats, contour, trace, and runner (the
+// parallel replication engine) — experiment ties them into the replicated
+// harness.
 //
 // # Local verification
 //
