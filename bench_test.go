@@ -17,6 +17,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/radio"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -329,6 +331,50 @@ func BenchmarkKernelScheduleCancel(b *testing.B) {
 	}
 	b.StopTimer()
 	k.Run()
+}
+
+// benchSink is an allocation-free receiver for the broadcast benchmark.
+type benchSink struct{ delivered int }
+
+func (s *benchSink) Listening() bool                      { return true }
+func (s *benchSink) Deliver(radio.NodeID, radio.Envelope) { s.delivered++ }
+
+// BenchmarkBroadcastDeliver times one full broadcast→delivery cycle of a
+// RESPONSE envelope to 8 in-range receivers on the pooled batched path; the
+// acceptance bar is 0 allocs/op.
+func BenchmarkBroadcastDeliver(b *testing.B) {
+	k := sim.NewKernel()
+	st := rng.NewSource(1).Stream("channel")
+	m := radio.NewMedium(k, geom.R(0, 0, 100, 100), energy.Telos(), radio.UnitDisk{Range: 15}, st)
+	sinks := make([]*benchSink, 9)
+	positions := []geom.Vec2{
+		geom.V(50, 50),
+		geom.V(55, 50), geom.V(45, 50), geom.V(50, 55), geom.V(50, 45),
+		geom.V(57, 57), geom.V(43, 43), geom.V(57, 43), geom.V(43, 57),
+	}
+	for i, pos := range positions {
+		sinks[i] = &benchSink{}
+		m.AddNode(radio.NodeID(i), pos, sinks[i], energy.NewMeter(energy.Telos(), 0, energy.ModeActive))
+	}
+	env := core.Response{
+		Pos: geom.V(50, 50), Velocity: geom.V(1, 0), HasVelocity: true,
+		PredictedArrival: 42, DetectedAt: 40, Detected: true,
+	}.Envelope()
+	// Warm the kernel arena, neighbour scratch and delivery pool.
+	for i := 0; i < 16; i++ {
+		m.Broadcast(0, env)
+		k.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Broadcast(0, env)
+		k.Run()
+	}
+	b.StopTimer()
+	if sinks[1].delivered == 0 {
+		b.Fatal("no deliveries")
+	}
 }
 
 func BenchmarkPASSingleRun(b *testing.B) {

@@ -101,9 +101,11 @@ func parseBenchOutput(r io.Reader) (map[string]result, error) {
 // baseline by more than threshold (fractional, e.g. 0.2 = 20%). The
 // multiplicative threshold keeps zero-alloc baselines exact — any allocation
 // at all warns — while tolerating the small allocs/op jitter of benchmarks
-// whose per-iteration work varies with the seed. Benchmarks missing from the
-// current output are reported too — a silently vanished benchmark must not
-// hide a regression.
+// whose per-iteration work varies with the seed. Mismatched name sets are
+// reported in both directions: a baselined benchmark missing from the
+// current output must not hide a regression, and a current benchmark absent
+// from the baseline (renamed, or added without regenerating BENCH_1.json)
+// must not silently escape the check.
 func compare(baseline Baseline, current map[string]result, threshold float64) []string {
 	var warnings []string
 	names := make([]string, 0, len(baseline.Benchmarks))
@@ -126,6 +128,18 @@ func compare(baseline Baseline, current map[string]result, threshold float64) []
 			warnings = append(warnings, fmt.Sprintf("%s: %.4g allocs/op vs baseline %.4g — per-op garbage reintroduced",
 				name, cur.allocsPerOp, base.AllocsPerOp))
 		}
+	}
+	extras := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		warnings = append(warnings, fmt.Sprintf(
+			"%s: baseline missing benchmark — it ran but has no entry in the baseline (renamed benchmark or stale file); regenerate the baseline JSON",
+			name))
 	}
 	return warnings
 }

@@ -91,6 +91,24 @@ func TestCompareMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestCompareBaselineMissingBenchmark(t *testing.T) {
+	// A benchmark present in the run but absent from the baseline (renamed,
+	// or added without regenerating the JSON) must warn instead of being
+	// silently skipped.
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 13.64, allocsPerOp: 0, hasAllocs: true},
+		"BenchmarkPASSingleRun":          {nsPerOp: 4416787, allocsPerOp: 20834, hasAllocs: true},
+		"BenchmarkRenamedKernel":         {nsPerOp: 1.0, hasAllocs: true},
+	}
+	w := compare(baselineFixture(), current, 0.20)
+	if len(w) != 1 {
+		t.Fatalf("warnings = %v, want exactly the baseline-missing diagnostic", w)
+	}
+	if !strings.Contains(w[0], "BenchmarkRenamedKernel") || !strings.Contains(w[0], "baseline missing benchmark") {
+		t.Errorf("warning = %q, want a clear baseline-missing diagnostic naming the benchmark", w[0])
+	}
+}
+
 func TestCompareImprovementIsSilent(t *testing.T) {
 	current := map[string]result{
 		"BenchmarkKernelEventThroughput": {nsPerOp: 5.0, allocsPerOp: 0, hasAllocs: true},
@@ -105,7 +123,9 @@ func writeBaselineFile(t *testing.T) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "BENCH_1.json")
 	data := `{"generated":"test","benchmarks":{
-		"BenchmarkKernelEventThroughput":{"ns_per_op":13.64,"allocs_per_op":0}}}`
+		"BenchmarkKernelEventThroughput":{"ns_per_op":13.64,"allocs_per_op":0},
+		"BenchmarkPASSingleRun":{"ns_per_op":4416787,"allocs_per_op":20834},
+		"BenchmarkFig4Parallel":{"ns_per_op":56556300,"allocs_per_op":276963}}}`
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}

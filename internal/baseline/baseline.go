@@ -33,7 +33,7 @@ func (*NS) OnDetect(n *node.Node) { n.SetState(node.StateCovered) }
 func (*NS) OnStimulusGone(n *node.Node) { n.SetState(node.StateSafe) }
 
 // OnMessage implements node.Agent: NS nodes exchange no protocol traffic.
-func (*NS) OnMessage(*node.Node, radio.NodeID, radio.Message) {}
+func (*NS) OnMessage(*node.Node, radio.NodeID, radio.Envelope) {}
 
 // DutyCycle sleeps and wakes on a fixed period regardless of the stimulus —
 // the oblivious power-management strawman. Awake for OnTime, asleep for
@@ -83,4 +83,4 @@ func (d *DutyCycle) OnStimulusGone(n *node.Node) {
 }
 
 // OnMessage implements node.Agent: duty-cycled nodes are silent.
-func (*DutyCycle) OnMessage(*node.Node, radio.NodeID, radio.Message) {}
+func (*DutyCycle) OnMessage(*node.Node, radio.NodeID, radio.Envelope) {}

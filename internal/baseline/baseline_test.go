@@ -195,7 +195,7 @@ func TestDutyCycleOnRecedingStimulus(t *testing.T) {
 func TestNSIgnoresMessages(t *testing.T) {
 	// Feeding a message to an NS agent must be a no-op (no panic, no state).
 	agent := NewNS()
-	agent.OnMessage(nil, 0, nil)
+	agent.OnMessage(nil, 0, radio.Envelope{})
 	d := NewDutyCycle(10, 1)
-	d.OnMessage(nil, 0, nil)
+	d.OnMessage(nil, 0, radio.Envelope{})
 }

@@ -80,7 +80,7 @@ func (a *Agent) Init(n *node.Node) {
 // probe sends a REQUEST and schedules the state decision at the end of the
 // response window.
 func (a *Agent) probe(n *node.Node) {
-	n.Broadcast(Request{})
+	n.Broadcast(Request{}.Envelope())
 	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) { a.decide(n) })
 }
 
@@ -166,7 +166,7 @@ func (a *Agent) OnDetect(n *node.Node) {
 	a.reassess.Stop()
 	a.decision.Stop()
 	n.SetState(node.StateCovered)
-	n.Broadcast(Request{})
+	n.Broadcast(Request{}.Envelope())
 	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) {
 		v, ok := ActualVelocity(n.Pos(), a.detectedAt, a.reportSlice(), a.cfg.MinVelocityDt)
 		if ok {
@@ -193,13 +193,22 @@ func (a *Agent) OnStimulusGone(n *node.Node) {
 	})
 }
 
-// OnMessage implements node.Agent.
-func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, msg radio.Message) {
-	switch m := msg.(type) {
-	case Request:
+// OnMessage implements node.Agent: value-dispatch on the envelope kind, with
+// boxed Request/Response accepted through the KindExt fallback so hand-wired
+// tests and extensions keep working.
+func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, env radio.Envelope) {
+	switch env.Kind {
+	case radio.KindRequest:
 		a.handleRequest(n)
-	case Response:
-		a.handleResponse(n, from, m)
+	case radio.KindResponse:
+		a.handleResponse(n, from, ResponseFromEnvelope(env))
+	case radio.KindExt:
+		switch m := env.Ext.(type) {
+		case Request:
+			a.handleRequest(n)
+		case Response:
+			a.handleResponse(n, from, m)
+		}
 	}
 }
 
@@ -325,7 +334,7 @@ func (a *Agent) sendResponse(n *node.Node) {
 		PredictedArrival: a.predicted,
 		DetectedAt:       a.detectedAt,
 		Detected:         a.detected,
-	})
+	}.Envelope())
 }
 
 // reportSlice snapshots the report table in deterministic (ID) order. The

@@ -83,7 +83,7 @@ func TestPASMeanETAVariant(t *testing.T) {
 	n := addNode(k, m, 0, target, stim, pas)
 	stub := &stubAgent{onInit: func(sn *node.Node) {
 		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
-			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 		})
 	}}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
@@ -107,7 +107,7 @@ func TestPASDisableExpectedVelocity(t *testing.T) {
 	n := addNode(k, m, 0, target, stim, pas)
 	stub := &stubAgent{onInit: func(sn *node.Node) {
 		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
-			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 		})
 	}}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
@@ -133,15 +133,15 @@ func TestPASZeroStaggerRespondsSynchronously(t *testing.T) {
 	stub := &stubAgent{}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
 	k.Schedule(0.01, func(*sim.Kernel) {
-		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 	})
-	k.Schedule(1, func(*sim.Kernel) { sn.Broadcast(Request{}) })
+	k.Schedule(1, func(*sim.Kernel) { sn.Broadcast(Request{}.Envelope()) })
 	n.Start()
 	sn.Start()
 	k.RunUntil(2)
 	responses := 0
-	for _, msg := range stub.got {
-		if _, ok := msg.(Response); ok {
+	for _, env := range stub.got {
+		if env.Kind == radio.KindResponse {
 			responses++
 		}
 	}
@@ -206,11 +206,11 @@ func TestAlertRespondsWithScheduledStaggerWhileStillAwake(t *testing.T) {
 	stub := &stubAgent{}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
 	k.Schedule(0.01, func(*sim.Kernel) {
-		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 	})
 	// Request lands just before the report ages out; by the time the
 	// staggered response fires the node may have gone safe and asleep.
-	k.Schedule(0.55, func(*sim.Kernel) { sn.Broadcast(Request{}) })
+	k.Schedule(0.55, func(*sim.Kernel) { sn.Broadcast(Request{}.Envelope()) })
 	n.Start()
 	sn.Start()
 	k.RunUntil(3) // must not panic (no broadcast-while-asleep)

@@ -17,8 +17,8 @@ import (
 // stubAgent is an always-awake scripted neighbour for driving PAS agents.
 type stubAgent struct {
 	onInit func(n *node.Node)
-	onMsg  func(n *node.Node, from radio.NodeID, m radio.Message)
-	got    []radio.Message
+	onMsg  func(n *node.Node, from radio.NodeID, env radio.Envelope)
+	got    []radio.Envelope
 }
 
 func (s *stubAgent) Init(n *node.Node) {
@@ -29,10 +29,10 @@ func (s *stubAgent) Init(n *node.Node) {
 func (s *stubAgent) OnWake(*node.Node)         {}
 func (s *stubAgent) OnDetect(*node.Node)       {}
 func (s *stubAgent) OnStimulusGone(*node.Node) {}
-func (s *stubAgent) OnMessage(n *node.Node, from radio.NodeID, m radio.Message) {
-	s.got = append(s.got, m)
+func (s *stubAgent) OnMessage(n *node.Node, from radio.NodeID, env radio.Envelope) {
+	s.got = append(s.got, env)
 	if s.onMsg != nil {
-		s.onMsg(n, from, m)
+		s.onMsg(n, from, env)
 	}
 }
 
@@ -90,7 +90,7 @@ func TestSafeNodeAlertsOnImminentThreat(t *testing.T) {
 		// Covered neighbour 5 m away, front moving toward the PAS node at
 		// 1 m/s: eta ≈ 5 s < threshold 10.
 		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
-			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 		})
 	}}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
@@ -106,8 +106,8 @@ func TestSafeNodeAlertsOnImminentThreat(t *testing.T) {
 	// Entering alert announces the prediction: the stub must have received
 	// a RESPONSE (besides nothing else it asked for).
 	sawResponse := false
-	for _, msg := range stub.got {
-		if _, ok := msg.(Response); ok {
+	for _, env := range stub.got {
+		if env.Kind == radio.KindResponse {
 			sawResponse = true
 		}
 	}
@@ -132,7 +132,7 @@ func TestSafeNodeSleepsWhenThreatFar(t *testing.T) {
 		// Covered neighbour 14 m away moving toward us at 0.1 m/s:
 		// eta ≈ 140 s >> threshold.
 		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
-			sn.Broadcast(imminentResponse(geom.V(-14, 0), target, 0.1, 0))
+			sn.Broadcast(imminentResponse(geom.V(-14, 0), target, 0.1, 0).Envelope())
 		})
 	}}
 	sn := addNode(k, m, 1, geom.V(-14, 0), stim, stub)
@@ -159,7 +159,7 @@ func TestSafeNodeIgnoresRecedingFront(t *testing.T) {
 				Pos: geom.V(-5, 0), State: node.StateCovered,
 				Velocity: geom.V(-3, 0), HasVelocity: true,
 				PredictedArrival: 0, DetectedAt: 0, Detected: true,
-			})
+			}.Envelope())
 		})
 	}}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
@@ -182,7 +182,7 @@ func TestAlertFallsBackToSafeViaAging(t *testing.T) {
 	n := addNode(k, m, 0, target, stim, pas)
 	stub := &stubAgent{onInit: func(sn *node.Node) {
 		sn.Kernel().Schedule(0.01, func(*sim.Kernel) {
-			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+			sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 		})
 	}}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
@@ -228,8 +228,8 @@ func TestCoveredNodeComputesActualVelocity(t *testing.T) {
 	// The stub answers the PAS node's detection-time REQUEST as a covered
 	// node that detected at t=5.
 	stub := &stubAgent{}
-	stub.onMsg = func(sn *node.Node, _ radio.NodeID, msg radio.Message) {
-		if _, ok := msg.(Request); !ok {
+	stub.onMsg = func(sn *node.Node, _ radio.NodeID, env radio.Envelope) {
+		if env.Kind != radio.KindRequest {
 			return
 		}
 		if sn.Now() < 5 {
@@ -238,7 +238,7 @@ func TestCoveredNodeComputesActualVelocity(t *testing.T) {
 		sn.Broadcast(Response{
 			Pos: sn.Pos(), State: node.StateCovered,
 			PredictedArrival: 5, DetectedAt: 5, Detected: true,
-		})
+		}.Envelope())
 	}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
 	n.Start()
@@ -258,8 +258,8 @@ func TestCoveredNodeComputesActualVelocity(t *testing.T) {
 	}
 	// And it must have broadcast the estimate.
 	sawVelocity := false
-	for _, msg := range stub.got {
-		if r, ok := msg.(Response); ok && r.HasVelocity {
+	for _, env := range stub.got {
+		if env.Kind == radio.KindResponse && ResponseFromEnvelope(env).HasVelocity {
 			sawVelocity = true
 		}
 	}
@@ -279,12 +279,12 @@ func TestRequestAnsweredOnlyWhenAlertOrCovered(t *testing.T) {
 	stub := &stubAgent{}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
 	// Probe the PAS node inside its initial awake window, while it is safe.
-	k.Schedule(0.05, func(*sim.Kernel) { sn.Broadcast(Request{}) })
+	k.Schedule(0.05, func(*sim.Kernel) { sn.Broadcast(Request{}.Envelope()) })
 	n.Start()
 	sn.Start()
 	k.RunUntil(0.2)
-	for _, msg := range stub.got {
-		if _, ok := msg.(Response); ok {
+	for _, env := range stub.got {
+		if env.Kind == radio.KindResponse {
 			t.Fatal("safe node answered a REQUEST")
 		}
 	}
@@ -300,10 +300,10 @@ func TestAlertNodeAnswersRequest(t *testing.T) {
 	stub := &stubAgent{}
 	sn := addNode(k, m, 1, geom.V(-5, 0), stim, stub)
 	k.Schedule(0.01, func(*sim.Kernel) {
-		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0))
+		sn.Broadcast(imminentResponse(geom.V(-5, 0), target, 1, 0).Envelope())
 	})
 	// After the node has gone alert, probe it.
-	k.Schedule(1, func(*sim.Kernel) { sn.Broadcast(Request{}) })
+	k.Schedule(1, func(*sim.Kernel) { sn.Broadcast(Request{}.Envelope()) })
 	n.Start()
 	sn.Start()
 	k.RunUntil(2)
@@ -311,8 +311,8 @@ func TestAlertNodeAnswersRequest(t *testing.T) {
 		t.Fatalf("precondition: state = %v", n.State())
 	}
 	responses := 0
-	for _, msg := range stub.got {
-		if _, ok := msg.(Response); ok {
+	for _, env := range stub.got {
+		if env.Kind == radio.KindResponse {
 			responses++
 		}
 	}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/radio"
+)
+
+// FuzzResponseCodecRoundTrip drives the byte decoder with arbitrary buffers:
+// anything DecodeResponse accepts must re-encode to a stable fixpoint (decode
+// → encode → decode is the identity on bytes). The seed corpus covers valid
+// frames, flag corners and the infinities the protocol actually sends.
+func FuzzResponseCodecRoundTrip(f *testing.F) {
+	f.Add(codecFixture().Encode())
+	f.Add(Response{}.Encode())
+	f.Add(Response{Pos: geom.V(1, 2), PredictedArrival: math.Inf(1)}.Encode())
+	f.Add(Response{
+		State: node.StateCovered, HasVelocity: true, Detected: true,
+		Velocity: geom.V(-0.5, 3), DetectedAt: 40,
+	}.Encode())
+	f.Add([]byte{})                                                     // short
+	f.Add(bytes.Repeat([]byte{0xff}, 51))                               // wrong type tag
+	f.Add(append([]byte{byte(MsgResponse), 0xff}, make([]byte, 49)...)) // junk flags
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		r, err := DecodeResponse(buf)
+		if err != nil {
+			return // rejected input: nothing to check
+		}
+		enc := r.AppendEncode(nil)
+		r2, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("re-decode of freshly encoded response failed: %v", err)
+		}
+		// Bytes are the canonical form (NaN payloads make struct equality
+		// unsuitable): encoding must reach a fixpoint after one round.
+		if enc2 := r2.AppendEncode(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("codec not a fixpoint:\nfirst  %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzResponseEnvelopeMapping fuzzes the structured path the simulator
+// actually runs: Response → Envelope → Response must preserve every field
+// bit-for-bit, and the envelope mapping must agree with the byte codec.
+func FuzzResponseEnvelopeMapping(f *testing.F) {
+	f.Add(1.0, 2.0, 0.5, 0.25, 42.0, 40.0, true, true, uint8(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, math.Inf(1), 0.0, false, false, uint8(0))
+	f.Add(-1e300, 1e-300, math.MaxFloat64, -0.0, 1e9, -5.5, true, false, uint8(2))
+	f.Fuzz(func(t *testing.T, px, py, vx, vy, pa, da float64, hasVel, det bool, state uint8) {
+		r := Response{
+			Pos:              geom.V(px, py),
+			State:            node.State(state % 3),
+			Velocity:         geom.V(vx, vy),
+			HasVelocity:      hasVel,
+			PredictedArrival: pa,
+			DetectedAt:       da,
+			Detected:         det,
+		}
+		env := r.Envelope()
+		if env.Kind != radio.KindResponse || env.Size() != r.Size() {
+			t.Fatalf("envelope header wrong: %+v", env)
+		}
+		got := ResponseFromEnvelope(env)
+		// Compare through the byte codec so NaN payloads compare by bits.
+		if !bytes.Equal(got.AppendEncode(nil), r.AppendEncode(nil)) {
+			t.Fatalf("envelope round trip mismatch:\n got %+v\nwant %+v", got, r)
+		}
+	})
+}

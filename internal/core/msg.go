@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/radio"
 )
 
 // MsgType discriminates the two PAS message kinds.
@@ -33,6 +34,12 @@ type Request struct{}
 
 // Size implements radio.Message.
 func (Request) Size() int { return headerBytes + 1 } // header + type tag
+
+// Envelope packs the request into the radio's value-dispatch envelope — the
+// allocation-free form every broadcast uses.
+func (Request) Envelope() radio.Envelope {
+	return radio.Envelope{Kind: radio.KindRequest, Wire: uint16(Request{}.Size())}
+}
 
 // Response carries a sensor's stimulus knowledge (paper: "a sensor's
 // location, state, the estimated spread speed and the predicted arrival time
@@ -66,6 +73,50 @@ const responsePayload = 1 + 1 + 32 + 16 + 1
 // Size implements radio.Message.
 func (Response) Size() int { return headerBytes + responsePayload }
 
+// Response flag bits, shared by the byte codec and the envelope mapping.
+const (
+	flagHasVelocity = 1 << 0
+	flagDetected    = 1 << 1
+)
+
+// Envelope packs the response into the radio's value-dispatch envelope. The
+// mapping mirrors AppendEncode field-for-field (same flag bits, same float
+// order), so the envelope is exactly as wire-faithful as the byte codec.
+func (r Response) Envelope() radio.Envelope {
+	var flags uint8
+	if r.HasVelocity {
+		flags |= flagHasVelocity
+	}
+	if r.Detected {
+		flags |= flagDetected
+	}
+	return radio.Envelope{
+		Kind:  radio.KindResponse,
+		Flags: flags,
+		State: uint8(r.State),
+		Wire:  uint16(Response{}.Size()),
+		F: [6]float64{
+			r.Pos.X, r.Pos.Y,
+			r.Velocity.X, r.Velocity.Y,
+			r.PredictedArrival, r.DetectedAt,
+		},
+	}
+}
+
+// ResponseFromEnvelope unpacks a KindResponse envelope produced by
+// Response.Envelope. It is the receive-side inverse and allocates nothing.
+func ResponseFromEnvelope(env radio.Envelope) Response {
+	return Response{
+		Pos:              geom.V(env.F[0], env.F[1]),
+		State:            node.State(env.State),
+		Velocity:         geom.V(env.F[2], env.F[3]),
+		HasVelocity:      env.Flags&flagHasVelocity != 0,
+		PredictedArrival: env.F[4],
+		DetectedAt:       env.F[5],
+		Detected:         env.Flags&flagDetected != 0,
+	}
+}
+
 // Encode serializes the response payload (excluding the simulated-only radio
 // header) for codec tests and trace dumps. The simulation itself passes
 // messages by value; Encode/Decode prove the message is wire-realizable.
@@ -81,10 +132,10 @@ func (r Response) Encode() []byte {
 func (r Response) AppendEncode(dst []byte) []byte {
 	var flags byte
 	if r.HasVelocity {
-		flags |= 1
+		flags |= flagHasVelocity
 	}
 	if r.Detected {
-		flags |= 2
+		flags |= flagDetected
 	}
 	dst = append(dst, byte(MsgResponse), flags)
 	for _, f := range [...]float64{r.Pos.X, r.Pos.Y, r.Velocity.X, r.Velocity.Y, r.PredictedArrival, r.DetectedAt} {
@@ -104,8 +155,8 @@ func DecodeResponse(buf []byte) (Response, error) {
 	}
 	var r Response
 	flags := buf[1]
-	r.HasVelocity = flags&1 != 0
-	r.Detected = flags&2 != 0
+	r.HasVelocity = flags&flagHasVelocity != 0
+	r.Detected = flags&flagDetected != 0
 	var vals [6]float64
 	off := 2
 	for i := range vals {

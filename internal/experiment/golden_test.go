@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the committed golden-trace snapshots:
+//
+//	go test ./internal/experiment -run TestGoldenTraces -update
+//
+// Regenerate ONLY when an intentional behaviour change moves the numbers;
+// review the diff — these files are the repo's determinism contract.
+var update = flag.Bool("update", false, "rewrite the golden trace snapshots under testdata/golden")
+
+// goldenExperiments are the snapshot-pinned experiments: a paper figure plus
+// two structurally different extensions (ext-plume shares one PDE scenario
+// across workers; ext-lifetime aggregates a censored lifetime metric).
+var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime"}
+
+// goldenOptions is the fixed configuration every snapshot is generated and
+// checked with (Quick sweep, 3 seeds); parallelism is set per run.
+func goldenOptions(parallelism int) Options {
+	return Options{Quick: true, Seeds: DefaultSeeds(3), Parallelism: parallelism}
+}
+
+// goldenBlob renders an experiment result in the canonical snapshot form:
+// the fixed-width table followed by the long-form CSV, so both presentation
+// paths are pinned.
+func goldenBlob(r Result) string {
+	return r.Render() + "\n" + r.CSV()
+}
+
+// TestGoldenTraces diffs fresh serial and 8-way-parallel runs of each
+// snapshot experiment against the committed canonical output, so any
+// determinism break — a reordered event, a changed RNG draw, a worker-pool
+// merge bug, a float-formatting drift — fails loudly with the full diff.
+func TestGoldenTraces(t *testing.T) {
+	for _, id := range goldenExperiments {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			path := filepath.Join("testdata", "golden", id+".golden")
+
+			serialRes, err := exp.Run(goldenOptions(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := goldenBlob(serialRes)
+
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(serial), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(serial))
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+			}
+			if serial != string(want) {
+				t.Errorf("serial output diverged from %s:\n%s", path, diffStrings(string(want), serial))
+			}
+
+			parallelRes, err := exp.Run(goldenOptions(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel := goldenBlob(parallelRes); parallel != string(want) {
+				t.Errorf("8-way parallel output diverged from %s:\n%s", path, diffStrings(string(want), parallel))
+			}
+		})
+	}
+}
+
+// diffStrings renders a small line diff for snapshot mismatches.
+func diffStrings(want, got string) string {
+	wl := splitLines(want)
+	gl := splitLines(got)
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			out += fmt.Sprintf("line %d:\n  want: %q\n  got:  %q\n", i+1, w, g)
+		}
+	}
+	if out == "" {
+		out = "(contents differ only in length)"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -61,8 +61,11 @@ type Agent interface {
 	// OnStimulusGone is called when a previously covered node's sensor
 	// stops observing the stimulus (receding stimuli only).
 	OnStimulusGone(n *Node)
-	// OnMessage is called for every message received while awake.
-	OnMessage(n *Node, from radio.NodeID, msg radio.Message)
+	// OnMessage is called for every message received while awake. The
+	// envelope arrives by value; protocol payloads are unpacked from the
+	// tagged union (radio.KindRequest/KindResponse/...) and extension
+	// payloads ride in env.Ext via the radio.KindExt slow path.
+	OnMessage(n *Node, from radio.NodeID, env radio.Envelope)
 }
 
 // Departer is implemented by stimuli whose coverage can end (e.g.
@@ -312,23 +315,27 @@ func (n *Node) DetectionDelay() (float64, bool) {
 func (n *Node) Listening() bool { return n.IsAwake() }
 
 // Deliver implements radio.Receiver.
-func (n *Node) Deliver(from radio.NodeID, msg radio.Message) {
+func (n *Node) Deliver(from radio.NodeID, env radio.Envelope) {
 	if n.failed {
 		return
 	}
 	n.rxCount++
-	n.agent.OnMessage(n, from, msg)
+	n.agent.OnMessage(n, from, env)
 }
 
-// Broadcast transmits msg to the neighbourhood. Transmitting while asleep or
-// failed panics — it indicates a protocol bug.
-func (n *Node) Broadcast(msg radio.Message) {
+// Broadcast transmits an envelope to the neighbourhood. Transmitting while
+// asleep or failed panics — it indicates a protocol bug.
+func (n *Node) Broadcast(env radio.Envelope) {
 	if !n.IsAwake() {
 		panic(fmt.Sprintf("node %d: broadcast while not awake", n.id))
 	}
 	n.txCount++
-	n.medium.Broadcast(n.id, msg)
+	n.medium.Broadcast(n.id, env)
 }
+
+// BroadcastMessage transmits a boxed Message via the radio.KindExt slow path
+// — for extension message types outside the envelope's tagged union.
+func (n *Node) BroadcastMessage(msg radio.Message) { n.Broadcast(radio.Wrap(msg)) }
 
 // TxCount returns the number of transmissions initiated.
 func (n *Node) TxCount() int { return n.txCount }

@@ -16,11 +16,11 @@ import (
 // scriptAgent records callbacks and runs optional scripted reactions.
 type scriptAgent struct {
 	inits, wakes, detects, gones int
-	msgs                         []radio.Message
+	msgs                         []radio.Envelope
 	onInit                       func(n *Node)
 	onWake                       func(n *Node)
 	onDetect                     func(n *Node)
-	onMsg                        func(n *Node, from radio.NodeID, msg radio.Message)
+	onMsg                        func(n *Node, from radio.NodeID, env radio.Envelope)
 }
 
 func (a *scriptAgent) Init(n *Node) {
@@ -42,10 +42,10 @@ func (a *scriptAgent) OnDetect(n *Node) {
 	}
 }
 func (a *scriptAgent) OnStimulusGone(n *Node) { a.gones++ }
-func (a *scriptAgent) OnMessage(n *Node, from radio.NodeID, msg radio.Message) {
-	a.msgs = append(a.msgs, msg)
+func (a *scriptAgent) OnMessage(n *Node, from radio.NodeID, env radio.Envelope) {
+	a.msgs = append(a.msgs, env)
 	if a.onMsg != nil {
-		a.onMsg(n, from, msg)
+		a.onMsg(n, from, env)
 	}
 }
 
@@ -148,7 +148,7 @@ func TestMessageDelivery(t *testing.T) {
 	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
 	k, m := testRig(stim)
 	rxA := &scriptAgent{}
-	txA := &scriptAgent{onInit: func(n *Node) { n.Broadcast(ping{payload: 7}) }}
+	txA := &scriptAgent{onInit: func(n *Node) { n.BroadcastMessage(ping{payload: 7}) }}
 	rx := newNode(k, m, 0, geom.V(50, 50), stim, rxA)
 	tx := newNode(k, m, 1, geom.V(55, 50), stim, txA)
 	rx.Start()
@@ -166,7 +166,7 @@ func TestAsleepNodeMissesMessages(t *testing.T) {
 	stim := diffusion.NewRadialFront(geom.V(0, 0), 0.001, 0)
 	k, m := testRig(stim)
 	rxA := &scriptAgent{onInit: func(n *Node) { n.Sleep(10) }}
-	txA := &scriptAgent{onInit: func(n *Node) { n.Broadcast(ping{}) }}
+	txA := &scriptAgent{onInit: func(n *Node) { n.BroadcastMessage(ping{}) }}
 	rx := newNode(k, m, 0, geom.V(50, 50), stim, rxA)
 	tx := newNode(k, m, 1, geom.V(55, 50), stim, txA)
 	rx.Start()
@@ -295,7 +295,7 @@ func TestPanicsOnMisuse(t *testing.T) {
 	n2 := newNode(k, m, 1, geom.V(60, 50), stim, &scriptAgent{onInit: func(n *Node) { n.Sleep(100) }})
 	n2.Start()
 	k.RunUntil(1)
-	mustPanic("broadcast asleep", func() { n2.Broadcast(ping{}) })
+	mustPanic("broadcast asleep", func() { n2.BroadcastMessage(ping{}) })
 	mustPanic("sense asleep", func() { n2.CoveredNow() })
 }
 

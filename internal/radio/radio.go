@@ -6,6 +6,20 @@
 // The paper's experiments use a 10 m transmission range with Telos timing
 // (250 kbps); the imperfect-channel extension experiments swap in the lossy
 // models, which the paper lists as future work.
+//
+// # Zero-allocation delivery
+//
+// Model-exchange traffic (REQUEST/RESPONSE bursts) dominates every PAS
+// experiment, so the broadcast→delivery path allocates nothing at steady
+// state: messages travel as a value-dispatch Envelope (a small tagged union;
+// the boxed Message interface survives only as the KindExt slow path), and
+// each broadcast schedules ONE kernel event whose argument is a pooled
+// delivery record — receiver list and payload reused across broadcasts —
+// instead of one closure per receiver. Loss draws and collision bookkeeping
+// happen at transmit time, exactly as the per-receiver events did, and the
+// fan-out applies the delivery-time checks in the same receiver order, so
+// batching is observationally identical (the determinism tests and golden
+// traces pin this).
 package radio
 
 import (
@@ -22,8 +36,10 @@ import (
 // assigned by the deployment.
 type NodeID int
 
-// Message is anything protocols exchange over the medium. The medium only
-// needs the on-air size to compute transmission time and energy.
+// Message is anything protocols exchange over the medium via the KindExt
+// slow path. The medium only needs the on-air size to compute transmission
+// time and energy. Hot-path traffic travels as a value-dispatch Envelope
+// instead of a boxed Message; Wrap bridges the two.
 type Message interface {
 	// Size returns the on-air size in bytes including headers.
 	Size() int
@@ -34,8 +50,8 @@ type Receiver interface {
 	// Listening reports whether the transceiver can currently receive
 	// (false while the node sleeps or has failed).
 	Listening() bool
-	// Deliver hands over a successfully received message.
-	Deliver(from NodeID, msg Message)
+	// Deliver hands over a successfully received message envelope.
+	Deliver(from NodeID, env Envelope)
 }
 
 // LossModel decides whether one transmission reaches one receiver.
@@ -163,12 +179,30 @@ type Medium struct {
 	csma     *CSMAConfig
 	inFlight []flight // active transmissions, pruned lazily
 	near     []int    // scratch for spatial-hash queries, reused per broadcast
+
+	// Batched delivery: each broadcast schedules ONE kernel event whose arg
+	// is a pooled delivery record, instead of one closure per receiver.
+	freeDeliveries []*delivery    // recycled records
+	deliverFn      sim.ArgHandler // long-lived dispatch handler, built once
 }
 
 // flight is one transmission in the air (for carrier sensing).
 type flight struct {
 	pos geom.Vec2
 	end float64
+}
+
+// delivery is one broadcast's pooled fan-out record: the receivers that
+// passed the loss model at transmit time plus everything the delivery-time
+// checks need. Records are recycled through Medium.freeDeliveries, so the
+// receiver slice and the envelope storage are reused across broadcasts and a
+// steady-state broadcast→delivery cycle allocates nothing.
+type delivery struct {
+	from    NodeID
+	env     Envelope
+	txTime  float64
+	end     float64
+	targets []*endpoint
 }
 
 // NewMedium creates a broadcast medium over the given field. The stream
@@ -181,7 +215,7 @@ func NewMedium(k *sim.Kernel, bounds geom.Rect, profile energy.Profile, loss Los
 	if err := profile.Validate(); err != nil {
 		panic(fmt.Sprintf("radio: invalid profile: %v", err))
 	}
-	return &Medium{
+	m := &Medium{
 		kernel:    k,
 		profile:   profile,
 		loss:      loss,
@@ -189,6 +223,10 @@ func NewMedium(k *sim.Kernel, bounds geom.Rect, profile energy.Profile, loss Los
 		endpoints: make(map[NodeID]*endpoint),
 		bounds:    bounds,
 	}
+	// One dispatch closure for the lifetime of the medium; every broadcast
+	// reuses it with its pooled record as the event arg.
+	m.deliverFn = func(_ *sim.Kernel, arg any) { m.runDelivery(arg.(*delivery)) }
+	return m
 }
 
 // EnableCollisions turns on destructive-collision modelling: transmissions
@@ -280,13 +318,41 @@ func (m *Medium) NeighborIDs(id NodeID) []NodeID {
 	return out
 }
 
-// TxTime returns the on-air duration of a message in seconds.
-func (m *Medium) TxTime(msg Message) float64 { return m.profile.TxTime(msg.Size()) }
+// TxTime returns the on-air duration of an envelope in seconds.
+func (m *Medium) TxTime(env Envelope) float64 { return m.profile.TxTime(env.Size()) }
 
-// Broadcast transmits msg from the given node to every listening neighbour
+// newDelivery pops a recycled delivery record (or grows the pool). Records
+// may be live concurrently — an agent reacting to a delivery can broadcast
+// immediately, claiming a second record before the first is recycled.
+func (m *Medium) newDelivery() *delivery {
+	if n := len(m.freeDeliveries); n > 0 {
+		d := m.freeDeliveries[n-1]
+		m.freeDeliveries = m.freeDeliveries[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+// freeDelivery recycles a record. The envelope is cleared so a KindExt
+// payload does not outlive its delivery; the target slice keeps its capacity.
+func (m *Medium) freeDelivery(d *delivery) {
+	d.env = Envelope{}
+	d.targets = d.targets[:0]
+	m.freeDeliveries = append(m.freeDeliveries, d)
+}
+
+// Broadcast transmits env from the given node to every listening neighbour
 // that the loss model lets through. Delivery happens one transmission time
 // after the call. The sender is charged transmit energy immediately.
-func (m *Medium) Broadcast(from NodeID, msg Message) {
+//
+// The whole fan-out is ONE kernel event: the receivers that pass the loss
+// model are recorded in a pooled delivery record at transmit time (loss
+// randomness and collision bookkeeping are transmit-time effects), and the
+// per-receiver delivery-time checks (collision window, listening state,
+// receive energy) run inside the record's single scheduled event, in the
+// same receiver order the per-receiver events used to execute in — so the
+// batching is observationally identical but allocation-free.
+func (m *Medium) Broadcast(from NodeID, env Envelope) {
 	sender, ok := m.endpoints[from]
 	if !ok {
 		panic(fmt.Sprintf("radio: broadcast from unregistered node %d", from))
@@ -295,23 +361,29 @@ func (m *Medium) Broadcast(from NodeID, msg Message) {
 		m.rebuild()
 	}
 	if m.csma != nil && m.channelBusyAt(sender.pos, m.kernel.Now()) {
-		m.deferBroadcast(from, msg, 1)
+		m.deferBroadcast(from, env, 1)
 		return
 	}
 	m.stats.Broadcasts++
-	m.stats.BytesSent += msg.Size()
+	m.stats.BytesSent += env.Size()
 	if sender.meter != nil {
-		sender.meter.ChargeTxBytes(msg.Size())
+		sender.meter.ChargeTxBytes(env.Size())
 	}
-	txTime := m.TxTime(msg)
+	txTime := m.profile.TxTime(env.Size())
 	now := m.kernel.Now()
 	end := now + txTime
 	if m.csma != nil {
 		m.inFlight = append(m.inFlight, flight{pos: sender.pos, end: end})
 	}
 
-	// The neighbour query reuses m.near: the loop below only schedules
-	// delivery events and never re-enters Broadcast (CSMA retries and agent
+	d := m.newDelivery()
+	d.from = from
+	d.env = env
+	d.txTime = txTime
+	d.end = end
+
+	// The neighbour query reuses m.near: the loop below only fills the
+	// delivery record and never re-enters Broadcast (CSMA retries and agent
 	// responses run later, from kernel callbacks), so the scratch buffer is
 	// not live across a nested query.
 	m.near = m.hash.NearAppend(m.near[:0], sender.pos, m.loss.MaxRange())
@@ -343,26 +415,49 @@ func (m *Medium) Broadcast(from NodeID, msg Message) {
 				target.busyUntil = end
 			}
 		}
-		m.kernel.ScheduleAt(end, func(*sim.Kernel) {
-			if m.collisions && end <= target.corruptUntil+1e-12 {
-				m.stats.DroppedCollision++
-				return
-			}
-			if !target.receiver.Listening() {
-				m.stats.DroppedSleeping++
-				return
-			}
-			if target.meter != nil {
-				target.meter.ChargeRx(txTime)
-			}
-			m.stats.Delivered++
-			target.receiver.Deliver(from, msg)
-		})
+		d.targets = append(d.targets, target)
 	}
+	if len(d.targets) == 0 {
+		m.freeDelivery(d)
+		return
+	}
+	m.kernel.ScheduleArgAt(end, m.deliverFn, d)
 }
 
-// deferBroadcast schedules a CSMA retry after a random backoff.
-func (m *Medium) deferBroadcast(from NodeID, msg Message, attempt int) {
+// BroadcastMessage transmits a boxed Message via the KindExt slow path —
+// the compatibility entry point for extension message types outside the
+// envelope's tagged union.
+func (m *Medium) BroadcastMessage(from NodeID, msg Message) {
+	m.Broadcast(from, Wrap(msg))
+}
+
+// runDelivery fans one broadcast out to its recorded receivers, applying the
+// delivery-time checks the per-receiver events used to apply, then recycles
+// the record. An agent's Deliver may broadcast immediately; that nested call
+// claims its own record, so the one being iterated is never mutated.
+func (m *Medium) runDelivery(d *delivery) {
+	for _, target := range d.targets {
+		if m.collisions && d.end <= target.corruptUntil+1e-12 {
+			m.stats.DroppedCollision++
+			continue
+		}
+		if !target.receiver.Listening() {
+			m.stats.DroppedSleeping++
+			continue
+		}
+		if target.meter != nil {
+			target.meter.ChargeRx(d.txTime)
+		}
+		m.stats.Delivered++
+		target.receiver.Deliver(d.from, d.env)
+	}
+	m.freeDelivery(d)
+}
+
+// deferBroadcast schedules a CSMA retry after a random backoff. Deferrals
+// are the congested slow path, so the retry closure's allocation is
+// acceptable.
+func (m *Medium) deferBroadcast(from NodeID, env Envelope, attempt int) {
 	if attempt > m.csma.MaxAttempts {
 		m.stats.CSMAGaveUp++
 		return
@@ -376,10 +471,10 @@ func (m *Medium) deferBroadcast(from NodeID, msg Message, attempt int) {
 			return
 		}
 		if m.channelBusyAt(sender.pos, m.kernel.Now()) {
-			m.deferBroadcast(from, msg, attempt+1)
+			m.deferBroadcast(from, env, attempt+1)
 			return
 		}
-		m.Broadcast(from, msg)
+		m.Broadcast(from, env)
 	})
 }
 

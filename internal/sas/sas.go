@@ -110,7 +110,7 @@ func (a *Agent) Init(n *node.Node) {
 // probe asks covered neighbours for stimulus information and schedules the
 // decision.
 func (a *Agent) probe(n *node.Node) {
-	n.Broadcast(core.Request{})
+	n.Broadcast(core.Request{}.Envelope())
 	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) { a.decide(n) })
 }
 
@@ -165,7 +165,7 @@ func (a *Agent) OnDetect(n *node.Node) {
 	a.reassess.Stop()
 	a.decision.Stop()
 	n.SetState(node.StateCovered)
-	n.Broadcast(core.Request{})
+	n.Broadcast(core.Request{}.Envelope())
 	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) {
 		if s, ok := a.scalarSpeed(n); ok {
 			a.speed, a.hasSpeed = s, true
@@ -216,38 +216,56 @@ func (a *Agent) OnStimulusGone(n *node.Node) {
 
 // OnMessage implements node.Agent. The crucial SAS restriction lives here:
 // only covered nodes answer REQUESTs, so stimulus information never travels
-// beyond the front's one-hop neighbourhood.
-func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, msg radio.Message) {
-	switch m := msg.(type) {
-	case core.Request:
-		if n.State() != node.StateCovered {
-			return
+// beyond the front's one-hop neighbourhood. Boxed Request/Response arrive
+// through the KindExt fallback for hand-wired tests and extensions.
+func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, env radio.Envelope) {
+	switch env.Kind {
+	case radio.KindRequest:
+		a.handleRequest(n)
+	case radio.KindResponse:
+		a.handleResponse(n, from, core.ResponseFromEnvelope(env))
+	case radio.KindExt:
+		switch m := env.Ext.(type) {
+		case core.Request:
+			a.handleRequest(n)
+		case core.Response:
+			a.handleResponse(n, from, m)
 		}
-		stagger := a.cfg.ResponseStagger * float64(1+int(n.ID())%8)
-		if stagger <= 0 {
+	}
+}
+
+// handleRequest answers a REQUEST if (and only if) this node is covered.
+func (a *Agent) handleRequest(n *node.Node) {
+	if n.State() != node.StateCovered {
+		return
+	}
+	stagger := a.cfg.ResponseStagger * float64(1+int(n.ID())%8)
+	if stagger <= 0 {
+		a.sendResponse(n)
+		return
+	}
+	n.Kernel().Schedule(stagger, func(*sim.Kernel) {
+		if n.IsAwake() && n.State() == node.StateCovered {
 			a.sendResponse(n)
-			return
 		}
-		n.Kernel().Schedule(stagger, func(*sim.Kernel) {
-			if n.IsAwake() && n.State() == node.StateCovered {
-				a.sendResponse(n)
-			}
-		})
-	case core.Response:
-		a.reports[from] = core.NeighborReport{
-			ID:               from,
-			Pos:              m.Pos,
-			State:            m.State,
-			Velocity:         m.Velocity,
-			HasVelocity:      m.HasVelocity,
-			PredictedArrival: m.PredictedArrival,
-			DetectedAt:       m.DetectedAt,
-			Detected:         m.Detected,
-			ReceivedAt:       n.Now(),
-		}
-		if n.State() == node.StateAlert && a.eta(n) >= a.cfg.AlertThreshold {
-			a.enterSafe(n, true)
-		}
+	})
+}
+
+// handleResponse folds a neighbour's alert into the report table.
+func (a *Agent) handleResponse(n *node.Node, from radio.NodeID, m core.Response) {
+	a.reports[from] = core.NeighborReport{
+		ID:               from,
+		Pos:              m.Pos,
+		State:            m.State,
+		Velocity:         m.Velocity,
+		HasVelocity:      m.HasVelocity,
+		PredictedArrival: m.PredictedArrival,
+		DetectedAt:       m.DetectedAt,
+		Detected:         m.Detected,
+		ReceivedAt:       n.Now(),
+	}
+	if n.State() == node.StateAlert && a.eta(n) >= a.cfg.AlertThreshold {
+		a.enterSafe(n, true)
 	}
 }
 
@@ -294,7 +312,7 @@ func (a *Agent) sendResponse(n *node.Node) {
 		PredictedArrival: a.detectedAt,
 		DetectedAt:       a.detectedAt,
 		Detected:         a.detected,
-	})
+	}.Envelope())
 }
 
 // sortedReports snapshots the report table in deterministic (ID) order into

@@ -16,18 +16,18 @@ import (
 
 // probeAgent is an always-awake scripted neighbour.
 type probeAgent struct {
-	onMsg func(n *node.Node, from radio.NodeID, m radio.Message)
-	got   []radio.Message
+	onMsg func(n *node.Node, from radio.NodeID, env radio.Envelope)
+	got   []radio.Envelope
 }
 
 func (p *probeAgent) Init(*node.Node)           {}
 func (p *probeAgent) OnWake(*node.Node)         {}
 func (p *probeAgent) OnDetect(*node.Node)       {}
 func (p *probeAgent) OnStimulusGone(*node.Node) {}
-func (p *probeAgent) OnMessage(n *node.Node, from radio.NodeID, m radio.Message) {
-	p.got = append(p.got, m)
+func (p *probeAgent) OnMessage(n *node.Node, from radio.NodeID, env radio.Envelope) {
+	p.got = append(p.got, env)
 	if p.onMsg != nil {
-		p.onMsg(n, from, m)
+		p.onMsg(n, from, env)
 	}
 }
 
@@ -79,17 +79,17 @@ func TestOnlyCoveredNodesRespond(t *testing.T) {
 			Pos: geom.V(5, 0), State: node.StateCovered,
 			Velocity: core.ScalarVelocity(1), HasVelocity: true,
 			PredictedArrival: 0, DetectedAt: 0, Detected: true,
-		})
+		}.Envelope())
 	})
-	k.Schedule(1, func(*sim.Kernel) { pn.Broadcast(core.Request{}) })
+	k.Schedule(1, func(*sim.Kernel) { pn.Broadcast(core.Request{}.Envelope()) })
 	n.Start()
 	pn.Start()
 	k.RunUntil(2)
 	if n.State() != node.StateAlert {
 		t.Fatalf("precondition: state = %v, want alert", n.State())
 	}
-	for _, msg := range probe.got {
-		if _, ok := msg.(core.Response); ok {
+	for _, env := range probe.got {
+		if env.Kind == radio.KindResponse {
 			t.Fatal("non-covered SAS node transmitted alert information")
 		}
 	}
@@ -102,7 +102,7 @@ func TestCoveredNodeAnswersRequest(t *testing.T) {
 	n := addSASNode(k, m, 0, geom.V(0, 0), stim, agent)
 	probe := &probeAgent{}
 	pn := addSASNode(k, m, 1, geom.V(5, 0), stim, probe)
-	k.Schedule(14, func(*sim.Kernel) { pn.Broadcast(core.Request{}) })
+	k.Schedule(14, func(*sim.Kernel) { pn.Broadcast(core.Request{}.Envelope()) })
 	n.Start()
 	pn.Start()
 	k.RunUntil(15)
@@ -110,8 +110,8 @@ func TestCoveredNodeAnswersRequest(t *testing.T) {
 		t.Fatalf("precondition: state = %v, want covered", n.State())
 	}
 	responses := 0
-	for _, msg := range probe.got {
-		if _, ok := msg.(core.Response); ok {
+	for _, env := range probe.got {
+		if env.Kind == radio.KindResponse {
 			responses++
 		}
 	}
@@ -128,8 +128,8 @@ func TestScalarSpeedEstimate(t *testing.T) {
 	agent := New(testCfg())
 	n := addSASNode(k, m, 0, geom.V(0, 0), stim, agent)
 	probe := &probeAgent{}
-	probe.onMsg = func(pn *node.Node, _ radio.NodeID, msg radio.Message) {
-		if _, ok := msg.(core.Request); !ok {
+	probe.onMsg = func(pn *node.Node, _ radio.NodeID, env radio.Envelope) {
+		if env.Kind != radio.KindRequest {
 			return
 		}
 		if pn.Now() < 5 {
@@ -138,7 +138,7 @@ func TestScalarSpeedEstimate(t *testing.T) {
 		pn.Broadcast(core.Response{
 			Pos: pn.Pos(), State: node.StateCovered,
 			PredictedArrival: 5, DetectedAt: 5, Detected: true,
-		})
+		}.Envelope())
 	}
 	pn := addSASNode(k, m, 1, geom.V(-5, 0), stim, probe)
 	n.Start()
@@ -148,8 +148,8 @@ func TestScalarSpeedEstimate(t *testing.T) {
 		t.Fatalf("state = %v, want covered", n.State())
 	}
 	sawSpeed := false
-	for _, msg := range probe.got {
-		if r, ok := msg.(core.Response); ok && r.HasVelocity {
+	for _, env := range probe.got {
+		if r := core.ResponseFromEnvelope(env); env.Kind == radio.KindResponse && r.HasVelocity {
 			sawSpeed = true
 			speed := r.Velocity.Norm()
 			// Detection lag shrinks the estimate slightly below 1.
@@ -285,7 +285,7 @@ func TestSASAlertDropsWhenReportsAge(t *testing.T) {
 			Pos: geom.V(5, 0), State: node.StateCovered,
 			Velocity: core.ScalarVelocity(0.5), HasVelocity: true,
 			PredictedArrival: 0, DetectedAt: 0, Detected: true,
-		})
+		}.Envelope())
 	})
 	n.Start()
 	pn.Start()
@@ -314,7 +314,7 @@ func TestSASIgnoresUselessReports(t *testing.T) {
 			Pos: geom.V(5, 0), State: node.StateAlert,
 			Velocity: core.ScalarVelocity(1), HasVelocity: true,
 			PredictedArrival: 3,
-		})
+		}.Envelope())
 	})
 	k.Schedule(0.02, func(*sim.Kernel) {
 		// Covered report with zero speed: unusable.
@@ -322,7 +322,7 @@ func TestSASIgnoresUselessReports(t *testing.T) {
 			Pos: geom.V(5, 0), State: node.StateCovered,
 			Velocity: core.ScalarVelocity(0), HasVelocity: true,
 			PredictedArrival: 0, DetectedAt: 0, Detected: true,
-		})
+		}.Envelope())
 	})
 	n.Start()
 	pn.Start()
@@ -345,13 +345,13 @@ func TestSASZeroStagger(t *testing.T) {
 	n := addSASNode(k, m, 0, geom.V(0, 0), stim, agent)
 	probe := &probeAgent{}
 	pn := addSASNode(k, m, 1, geom.V(5, 0), stim, probe)
-	k.Schedule(14, func(*sim.Kernel) { pn.Broadcast(core.Request{}) })
+	k.Schedule(14, func(*sim.Kernel) { pn.Broadcast(core.Request{}.Envelope()) })
 	n.Start()
 	pn.Start()
 	k.RunUntil(15)
 	got := 0
-	for _, msg := range probe.got {
-		if _, ok := msg.(core.Response); ok {
+	for _, env := range probe.got {
+		if env.Kind == radio.KindResponse {
 			got++
 		}
 	}

@@ -24,6 +24,10 @@
 //     the pending state. Cancel is therefore an O(1) stamp check that marks
 //     the slot dead; dead slots are skipped and recycled lazily at pop, so
 //     there is no pending map and no O(log n) heap removal.
+//   - Events can carry an argument (ScheduleArgAt): batched subsystems —
+//     the radio's per-broadcast delivery records — schedule one long-lived
+//     ArgHandler against pooled payloads instead of building a closure per
+//     event, keeping the hot path closure-free.
 //
 // A slot's generation wraps after 2^32 schedule/retire cycles of that one
 // slot; a stale EventID could in principle alias after that, which is orders
@@ -42,18 +46,32 @@ type Time = float64
 // the kernel passed in so it can schedule further events.
 type Handler func(k *Kernel)
 
+// ArgHandler is an event callback that additionally receives the argument
+// stored with the event at schedule time. Batched subsystems (the radio's
+// per-broadcast delivery records) use it to schedule one long-lived handler
+// against many pooled payloads without constructing a closure per event:
+// boxing a pointer-shaped arg into the interface does not allocate.
+type ArgHandler func(k *Kernel, arg any)
+
 // EventID identifies a scheduled event for cancellation. It packs the arena
 // slot (low 32 bits) and the slot's generation (high 32 bits).
 type EventID uint64
 
-// event is one arena slot. A slot is pending (in the heap, handler != nil),
-// dead (in the heap, cancelled, handler == nil) or free (on the freelist).
+// event is one arena slot. A slot is pending (in the heap, one of the two
+// handler fields set), dead (in the heap, cancelled, both handlers nil) or
+// free (on the freelist). Exactly one of handler/argh is non-nil while
+// pending; arg rides along with argh.
 type event struct {
 	at      Time
 	seq     uint64 // tie-breaker: FIFO among equal times
 	gen     uint32 // current occupant generation
 	handler Handler
+	argh    ArgHandler
+	arg     any
 }
+
+// pending reports whether the slot holds a live scheduled event.
+func (e *event) pending() bool { return e.handler != nil || e.argh != nil }
 
 // Kernel is the simulation engine. Create one with NewKernel, schedule events
 // and call Run or RunUntil. A Kernel must be used from a single goroutine.
@@ -87,17 +105,14 @@ func (k *Kernel) Pending() int { return k.live }
 // event; pass nil to disable.
 func (k *Kernel) SetTracer(f func(at Time)) { k.tracer = f }
 
-// ScheduleAt schedules h at absolute virtual time at. Scheduling in the past
-// panics: it would silently corrupt causality, which is a programming error.
-func (k *Kernel) ScheduleAt(at Time, h Handler) EventID {
+// scheduleSlot claims an arena slot for an event at the given time and links
+// it into the heap; the caller fills in the handler fields.
+func (k *Kernel) scheduleSlot(at Time) (int32, *event) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
 	if math.IsNaN(at) {
 		panic("sim: schedule at NaN time")
-	}
-	if h == nil {
-		panic("sim: schedule nil handler")
 	}
 	var slot int32
 	if n := len(k.free); n > 0 {
@@ -110,16 +125,46 @@ func (k *Kernel) ScheduleAt(at Time, h Handler) EventID {
 	e := &k.arena[slot]
 	e.at = at
 	e.seq = k.nextSeq
-	e.handler = h
 	k.nextSeq++
 	k.live++
 	k.heapPush(slot)
+	return slot, e
+}
+
+// ScheduleAt schedules h at absolute virtual time at. Scheduling in the past
+// panics: it would silently corrupt causality, which is a programming error.
+func (k *Kernel) ScheduleAt(at Time, h Handler) EventID {
+	if h == nil {
+		panic("sim: schedule nil handler")
+	}
+	slot, e := k.scheduleSlot(at)
+	e.handler = h
 	return EventID(uint64(e.gen)<<32 | uint64(uint32(slot)))
 }
 
 // Schedule schedules h after the given delay (which must be non-negative).
 func (k *Kernel) Schedule(delay Time, h Handler) EventID {
 	return k.ScheduleAt(k.now+delay, h)
+}
+
+// ScheduleArgAt schedules h at absolute virtual time at with arg stored in
+// the event slot and handed back when the event fires. Scheduling a
+// long-lived handler with per-event args avoids the closure allocation of
+// ScheduleAt on hot batched paths; a pointer-shaped arg does not allocate
+// when boxed.
+func (k *Kernel) ScheduleArgAt(at Time, h ArgHandler, arg any) EventID {
+	if h == nil {
+		panic("sim: schedule nil handler")
+	}
+	slot, e := k.scheduleSlot(at)
+	e.argh = h
+	e.arg = arg
+	return EventID(uint64(e.gen)<<32 | uint64(uint32(slot)))
+}
+
+// ScheduleArg schedules h with arg after the given delay.
+func (k *Kernel) ScheduleArg(delay Time, h ArgHandler, arg any) EventID {
+	return k.ScheduleArgAt(k.now+delay, h, arg)
 }
 
 // Cancel removes a pending event. It reports whether the event was still
@@ -132,21 +177,25 @@ func (k *Kernel) Cancel(id EventID) bool {
 		return false
 	}
 	e := &k.arena[slot]
-	if e.gen != uint32(id>>32) || e.handler == nil {
+	if e.gen != uint32(id>>32) || !e.pending() {
 		return false
 	}
 	e.handler = nil
+	e.argh = nil
+	e.arg = nil
 	e.gen++
 	k.live--
 	return true
 }
 
 // retire recycles the just-popped slot: the generation bump invalidates the
-// slot's outstanding EventID and the handler reference is dropped so the
-// closure can be collected before the slot is reused.
+// slot's outstanding EventID and the handler/arg references are dropped so
+// their referents can be collected before the slot is reused.
 func (k *Kernel) retire(slot int32) {
 	e := &k.arena[slot]
 	e.handler = nil
+	e.argh = nil
+	e.arg = nil
 	e.gen++
 	k.free = append(k.free, slot)
 }
@@ -157,13 +206,13 @@ func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
 		slot := k.heapPop()
 		e := &k.arena[slot]
-		if e.handler == nil {
+		if !e.pending() {
 			// Cancelled; recycle without the generation bump (Cancel already
 			// bumped it).
 			k.free = append(k.free, slot)
 			continue
 		}
-		h, at := e.handler, e.at
+		h, ah, arg, at := e.handler, e.argh, e.arg, e.at
 		k.retire(slot)
 		k.live--
 		k.now = at
@@ -171,7 +220,11 @@ func (k *Kernel) Step() bool {
 		if k.tracer != nil {
 			k.tracer(at)
 		}
-		h(k)
+		if ah != nil {
+			ah(k, arg)
+		} else {
+			h(k)
+		}
 		return true
 	}
 	return false
@@ -189,7 +242,7 @@ func (k *Kernel) RunUntil(horizon Time) {
 		// Peek: find the earliest live event.
 		slot := k.heap[0]
 		e := &k.arena[slot]
-		if e.handler == nil {
+		if !e.pending() {
 			k.heapPop()
 			k.free = append(k.free, slot)
 			continue

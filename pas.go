@@ -47,14 +47,29 @@
 //     flat slice recycled through a freelist, the priority queue is a 4-ary
 //     heap of slot indices (no container/heap interface boxing), and
 //     EventIDs are generation-tagged so Cancel is an O(1) stamp check with
-//     lazy removal at pop. Steady-state Schedule/Step/Cancel — and
-//     sim.Timer re-arms — allocate nothing; regression tests pin 0
-//     allocs/op.
-//   - internal/radio reuses its spatial-hash neighbour scratch, in-flight
-//     list and rebuild buffers across broadcasts.
+//     lazy removal at pop. Events can carry an argument (ScheduleArgAt), so
+//     batched subsystems schedule one long-lived handler against pooled
+//     records instead of a closure per event. Steady-state
+//     Schedule/Step/Cancel — and sim.Timer re-arms — allocate nothing;
+//     regression tests pin 0 allocs/op.
+//   - internal/radio batches delivery: each broadcast is ONE kernel event
+//     fanning out from a pooled delivery record (receiver list + message
+//     reused across broadcasts), and protocol traffic travels as a
+//     value-dispatch radio.Envelope (a small tagged union covering
+//     REQUEST/RESPONSE/beacons) instead of a boxed interface, with the
+//     Message interface kept as a KindExt slow path for tests and
+//     extensions. A full broadcast→delivery cycle allocates nothing
+//     (BenchmarkBroadcastDeliver pins 0 allocs/op); the spatial-hash
+//     neighbour scratch, in-flight list and rebuild buffers are reused too.
 //   - internal/experiment memoizes deployments: every cell sharing (seed,
 //     field, nodes, range) reuses one immutable deployment instead of
 //     re-running the connected-uniform rejection sampler per protocol.
+//
+// Determinism is pinned by golden-trace snapshots
+// (internal/experiment/testdata/golden): fresh serial and 8-way-parallel
+// runs of fig4, ext-plume and ext-lifetime must match the committed output
+// byte-for-byte; regenerate intentionally with
+// `go test ./internal/experiment -run TestGoldenTraces -update`.
 //
 // To profile a hot path, run the harness under pprof directly:
 //
