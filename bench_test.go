@@ -387,6 +387,35 @@ func BenchmarkPASSingleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkScale10k times one full 10 000-node PAS run on the scale-10k grid
+// scenario — the production-scale point of the ext-scale sweep. The fixed
+// seed lets the deployment memoization engage after the first iteration, so
+// the number tracks the simulation itself (stimulus, kernel, radio, metrics)
+// rather than the deployment draw.
+func BenchmarkScale10k(b *testing.B) {
+	sp, ok := pas.LookupScenario("scale-10k")
+	if !ok {
+		b.Fatal("scale-10k missing from the registry")
+	}
+	cfg, err := pas.RunConfigFromScenario(sp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Protocol = pas.ProtoPAS
+	var rep pas.RunReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep, err = pas.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rep.Detected != 10000 {
+		b.Fatalf("detected %d/10000", rep.Detected)
+	}
+	b.ReportMetric(rep.AvgDelay, "pas-delay-s")
+}
+
 func BenchmarkSASSingleRun(b *testing.B) {
 	sc := pas.PaperScenario()
 	b.ResetTimer()

@@ -7,7 +7,9 @@
 //	pasbench -exp fig4 -seeds 12      # one figure at higher replication
 //	pasbench -exp fig6 -csv out/      # also write long-form CSV
 //	pasbench -exp all -parallel 8     # fan runs out over 8 workers
-//	pasbench -list                    # show available experiment IDs
+//	pasbench -exp ext-scale           # 100/1k/10k-node scale sweep
+//	pasbench -scenario scale-1k       # generic sweep over one registry scenario
+//	pasbench -list                    # show experiment IDs and scenario names
 //
 // Hot-path investigations profile the harness directly, no hand-written
 // pprof scaffolding needed:
@@ -37,6 +39,7 @@ func main() {
 // config is the parsed flag set of one pasbench invocation.
 type config struct {
 	expID      string
+	scenario   string
 	quick      bool
 	csvDir     string
 	list       bool
@@ -56,6 +59,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		parallel = fs.Int("parallel", 0, "concurrent simulation runs (0 = one per CPU, 1 = serial)")
 	)
 	fs.StringVar(&c.expID, "exp", "all", "experiment id to run, or 'all'")
+	fs.StringVar(&c.scenario, "scenario", "", "run the generic maxSleep sweep over this registry scenario instead of -exp")
 	fs.BoolVar(&c.quick, "quick", false, "reduced sweeps and replication")
 	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-experiment CSV files")
 	fs.BoolVar(&c.list, "list", false, "list experiment ids and exit")
@@ -71,8 +75,21 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	return c, nil
 }
 
-// selectExperiments resolves an -exp value against the registry.
-func selectExperiments(expID string) ([]pas.Experiment, error) {
+// selectExperiments resolves the -scenario / -exp selection against the
+// experiment and scenario registries. The two selectors conflict: a
+// non-default -exp next to -scenario is rejected rather than silently
+// ignored.
+func selectExperiments(expID, scenarioName string) ([]pas.Experiment, error) {
+	if scenarioName != "" {
+		if expID != "all" {
+			return nil, fmt.Errorf("-exp %s and -scenario %s are mutually exclusive; drop one", expID, scenarioName)
+		}
+		e, err := pas.ScenarioSweepExperiment(scenarioName)
+		if err != nil {
+			return nil, err
+		}
+		return []pas.Experiment{e}, nil
+	}
 	if expID == "all" {
 		return pas.Experiments(), nil
 	}
@@ -97,10 +114,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, e := range pas.Experiments() {
 			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
+		fmt.Fprintln(stdout, "\nscenarios (-scenario):")
+		for _, sp := range pas.Scenarios() {
+			fmt.Fprintf(stdout, "%-16s %s\n", sp.Name, sp.Description)
+		}
 		return 0
 	}
 
-	targets, err := selectExperiments(c.expID)
+	targets, err := selectExperiments(c.expID, c.scenario)
 	if err != nil {
 		fmt.Fprintf(stderr, "pasbench: %v\n", err)
 		return 2

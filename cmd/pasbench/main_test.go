@@ -52,16 +52,29 @@ func TestParseFlagsBadFlag(t *testing.T) {
 }
 
 func TestSelectExperiments(t *testing.T) {
-	all, err := selectExperiments("all")
+	all, err := selectExperiments("all", "")
 	if err != nil || len(all) < 15 {
 		t.Fatalf("all: %d experiments, err %v", len(all), err)
 	}
-	one, err := selectExperiments("fig4")
+	one, err := selectExperiments("fig4", "")
 	if err != nil || len(one) != 1 || one[0].ID != "fig4" {
 		t.Fatalf("fig4: %+v, err %v", one, err)
 	}
-	if _, err := selectExperiments("fig99"); err == nil {
+	if _, err := selectExperiments("fig99", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	// -scenario selects the generic sweep and wins over -exp.
+	sw, err := selectExperiments("all", "poisson")
+	if err != nil || len(sw) != 1 || sw[0].ID != "scenario-poisson" {
+		t.Fatalf("scenario sweep: %+v, err %v", sw, err)
+	}
+	if _, err := selectExperiments("all", "atlantis"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	// An explicit experiment next to -scenario is a conflict, not a silent
+	// override.
+	if _, err := selectExperiments("fig4", "poisson"); err == nil {
+		t.Fatal("conflicting -exp and -scenario accepted")
 	}
 }
 
@@ -100,6 +113,32 @@ func TestRunList(t *testing.T) {
 	for _, id := range []string{"fig4", "ext-plume", "ext-lifetime"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunScenarioSweep(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "grid", "-quick", "-seeds", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scenario-grid") {
+		t.Errorf("stdout missing sweep id: %q", stdout.String())
+	}
+	if code := run([]string{"-scenario", "atlantis"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2", code)
+	}
+}
+
+func TestRunListIncludesScenarios(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, name := range []string{"scale-10k", "poisson", "ext-scale"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s", name)
 		}
 	}
 }
@@ -158,6 +197,30 @@ func TestRunWritesProfiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("profile %s is empty", path)
 		}
+	}
+}
+
+func TestRunBadMemProfilePathFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-exp", "table1", "-memprofile", filepath.Join(t.TempDir(), "no-such-dir", "mem.out")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if stderr.String() == "" {
+		t.Error("no error reported for unwritable heap-profile path")
+	}
+}
+
+func TestRunBadCSVDirFails(t *testing.T) {
+	// A csv "directory" that is actually a file makes MkdirAll fail.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-exp", "table1", "-csv", filepath.Join(blocker, "out")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
 	}
 }
 

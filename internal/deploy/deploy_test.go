@@ -3,6 +3,7 @@ package deploy
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rng"
@@ -66,6 +67,75 @@ func TestPoissonDiskSpacing(t *testing.T) {
 			}
 		}
 	}
+}
+
+// poissonDiskReference is the pre-spatial-hash O(n²) dart thrower; the
+// hash-backed implementation must reproduce its layouts draw for draw.
+func poissonDiskReference(st *rng.Stream, field geom.Rect, n int, minDist float64) []geom.Vec2 {
+	pts := make([]geom.Vec2, 0, n)
+	maxTries := 200 * n
+	for tries := 0; tries < maxTries && len(pts) < n; tries++ {
+		p := geom.V(
+			st.Uniform(field.Min.X, field.Max.X),
+			st.Uniform(field.Min.Y, field.Max.Y),
+		)
+		ok := true
+		for _, q := range pts {
+			if p.Dist2(q) < minDist*minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestPoissonDiskMatchesLinearReference(t *testing.T) {
+	// The spatial hash must not change a single accept/reject decision: same
+	// stream, same parameters → byte-identical layouts, across fields whose
+	// saturation regimes differ.
+	cases := []struct {
+		name    string
+		field   geom.Rect
+		n       int
+		minDist float64
+	}{
+		{"sparse", geom.R(0, 0, 100, 100), 60, 8},
+		{"saturated", geom.R(0, 0, 10, 10), 100, 3},
+		{"offset field", geom.R(-50, 20, 30, 90), 120, 5},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 5; seed++ {
+			got := PoissonDisk(rng.NewSource(seed).Stream("p"), tc.field, tc.n, tc.minDist)
+			want := poissonDiskReference(rng.NewSource(seed).Stream("p"), tc.field, tc.n, tc.minDist)
+			if len(got.Positions) != len(want) {
+				t.Fatalf("%s seed %d: %d darts, reference placed %d", tc.name, seed, len(got.Positions), len(want))
+			}
+			for i := range want {
+				if got.Positions[i] != want[i] {
+					t.Fatalf("%s seed %d: dart %d = %v, reference %v", tc.name, seed, i, got.Positions[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPoissonDisk10kFast(t *testing.T) {
+	// 10k darts used to take O(tries·n) point comparisons; with the spatial
+	// hash the whole throw is comfortably sub-second even under -race.
+	start := time.Now()
+	d := PoissonDisk(rng.NewSource(1).Stream("big"), geom.R(0, 0, 1000, 1000), 10000, 7)
+	elapsed := time.Since(start)
+	if d.N() != 10000 {
+		t.Fatalf("placed %d of 10000 darts", d.N())
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("10k darts took %v, want well under a second (5s CI allowance)", elapsed)
+	}
+	t.Logf("10k darts in %v", elapsed)
 }
 
 func TestPoissonDiskSaturates(t *testing.T) {

@@ -6,27 +6,31 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/geom"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 )
 
 // Deployment memoization. A sweep replicates every (protocol × sweep-point)
 // cell over the same seeds, and every cell with the same seed, field, node
-// count and radio range draws the identical connected-uniform deployment —
+// count, radio range and deployment spec draws the identical layout —
 // ConnectedUniform rejection-samples up to 2000 candidate layouts per call,
-// so re-deriving it once per protocol in every sweep is pure waste. The cache
-// below shares one immutable *deploy.Deployment per distinct key across the
-// whole process, including the parallel worker pool. Results are unchanged:
-// the generator is a pure function of the key (it consumes only the
-// dedicated "deploy" stream, which is itself derived from the seed), so a
+// so re-deriving it once per protocol in every sweep is pure waste (and even
+// the cheap structured generators are worth sharing at 10 000 nodes). The
+// cache below shares one immutable *deploy.Deployment per distinct key across
+// the whole process, including the parallel worker pool. Results are
+// unchanged: the generator is a pure function of the key (it consumes only
+// the dedicated "deploy" stream, which is itself derived from the seed), so a
 // cache hit returns byte-for-byte the deployment a miss would have computed.
 
 // depKey identifies one deterministic deployment draw. maxAttempts is part
 // of the key because it changes which draws panic vs succeed; today every
-// caller passes 2000, so it never splits the cache in practice.
+// caller passes 2000, so it never splits the cache in practice. The spec is
+// comparable by design (scenario.DeploymentSpec holds only scalars).
 type depKey struct {
 	seed        int64
 	field       geom.Rect
 	nodes       int
 	radius      float64
+	spec        scenario.DeploymentSpec
 	maxAttempts int
 }
 
@@ -42,11 +46,11 @@ var depCache struct {
 	misses uint64
 }
 
-// connectedUniformCached returns the shared deployment for the key, drawing
-// it on first use. Callers must treat the result as immutable — it is shared
-// across concurrent simulation runs.
-func connectedUniformCached(seed int64, field geom.Rect, nodes int, radius float64, maxAttempts int) *deploy.Deployment {
-	key := depKey{seed: seed, field: field, nodes: nodes, radius: radius, maxAttempts: maxAttempts}
+// cachedDeployment returns the shared deployment for the key, drawing it on
+// first use. Callers must treat the result as immutable — it is shared across
+// concurrent simulation runs.
+func cachedDeployment(seed int64, field geom.Rect, nodes int, radius float64, spec scenario.DeploymentSpec, maxAttempts int) *deploy.Deployment {
+	key := depKey{seed: seed, field: field, nodes: nodes, radius: radius, spec: spec, maxAttempts: maxAttempts}
 	depCache.mu.Lock()
 	if d, ok := depCache.m[key]; ok {
 		depCache.hits++
@@ -61,7 +65,7 @@ func connectedUniformCached(seed int64, field geom.Rect, nodes int, radius float
 	// racing on the same key compute identical deployments; the second store
 	// wins harmlessly.
 	st := rng.NewSource(seed).Stream("deploy")
-	d := deploy.ConnectedUniform(st, field, nodes, radius, maxAttempts)
+	d := spec.Generate(st, field, nodes, radius, maxAttempts)
 
 	depCache.mu.Lock()
 	if depCache.m == nil || len(depCache.m) >= depCacheLimit {

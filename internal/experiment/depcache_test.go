@@ -7,12 +7,13 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/geom"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 )
 
 func TestDeploymentCacheSharesIdenticalDraws(t *testing.T) {
 	field := geom.R(0, 0, 30, 30)
-	a := connectedUniformCached(12345, field, 30, 10, 2000)
-	b := connectedUniformCached(12345, field, 30, 10, 2000)
+	a := cachedDeployment(12345, field, 30, 10, scenario.DeploymentSpec{}, 2000)
+	b := cachedDeployment(12345, field, 30, 10, scenario.DeploymentSpec{}, 2000)
 	if a != b {
 		t.Error("identical keys returned distinct deployments")
 	}
@@ -30,14 +31,14 @@ func TestDeploymentCacheSharesIdenticalDraws(t *testing.T) {
 
 func TestDeploymentCacheKeysAreDistinct(t *testing.T) {
 	field := geom.R(0, 0, 30, 30)
-	base := connectedUniformCached(777, field, 30, 10, 2000)
-	if other := connectedUniformCached(778, field, 30, 10, 2000); other == base {
+	base := cachedDeployment(777, field, 30, 10, scenario.DeploymentSpec{}, 2000)
+	if other := cachedDeployment(778, field, 30, 10, scenario.DeploymentSpec{}, 2000); other == base {
 		t.Error("different seeds shared a deployment")
 	}
-	if other := connectedUniformCached(777, field, 25, 10, 2000); other == base {
+	if other := cachedDeployment(777, field, 25, 10, scenario.DeploymentSpec{}, 2000); other == base {
 		t.Error("different node counts shared a deployment")
 	}
-	if other := connectedUniformCached(777, field, 30, 12, 2000); other == base {
+	if other := cachedDeployment(777, field, 30, 12, scenario.DeploymentSpec{}, 2000); other == base {
 		t.Error("different radii shared a deployment")
 	}
 }
@@ -51,7 +52,7 @@ func TestDeploymentCacheConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = connectedUniformCached(424242, field, 30, 10, 2000)
+			results[w] = cachedDeployment(424242, field, 30, 10, scenario.DeploymentSpec{}, 2000)
 		}(w)
 	}
 	wg.Wait()

@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"ext-collisions", "Ablation: destructive collisions vs ideal channel", ExtCollisions},
 		{"ext-contour", "Extension: covered-area estimation error (monitoring efficacy)", ExtContour},
 		{"ext-terrain", "Extension: protocols on the heterogeneous-terrain (eikonal) front", ExtTerrain},
+		{"ext-scale", "Extension: production-scale deployments (100/1k/10k nodes)", ExtScale},
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/sas"
+	"repro/internal/scenario"
 )
 
 // Protocol names accepted by RunConfig.
@@ -36,6 +37,9 @@ type RunConfig struct {
 	Nodes int
 	// Range is the transmission range in metres (the paper uses 10).
 	Range float64
+	// Deploy selects the deployment generator; the zero value is the
+	// paper's connected-uniform draw.
+	Deploy scenario.DeploymentSpec
 	// Protocol selects the sleeping strategy: pas, sas, ns or duty.
 	Protocol string
 	// PAS/SAS hold the protocol tunables when the respective protocol runs.
@@ -120,9 +124,9 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 	}
 	src := rng.NewSource(rc.Seed)
 	// Deployments are memoized: every cell sharing (seed, field, nodes,
-	// range) reuses one immutable deployment instead of re-running the
-	// rejection sampler (see depcache.go).
-	dep := connectedUniformCached(rc.Seed, rc.Scenario.Field, rc.Nodes, rc.Range, 2000)
+	// range, deployment spec) reuses one immutable deployment instead of
+	// re-running the generator (see depcache.go).
+	dep := cachedDeployment(rc.Seed, rc.Scenario.Field, rc.Nodes, rc.Range, rc.Deploy, 2000)
 	loss := rc.Loss
 	if loss == nil {
 		loss = radio.UnitDisk{Range: rc.Range}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestFromScenarioPaperMatchesDefaults pins that compiling the registry's
+// first entry reproduces the historical default run bit for bit: same
+// deployment draw, same stimulus, same metrics.
+func TestFromScenarioPaperMatchesDefaults(t *testing.T) {
+	sp, ok := scenario.Lookup("paper")
+	if !ok {
+		t.Fatal("registry lost the paper scenario")
+	}
+	rc, err := FromScenario(sp, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunOnce(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunOnce(RunConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("paper spec diverged from the default run:\nspec    %+v\ndefault %+v", got, want)
+	}
+}
+
+func TestFromScenarioAppliesSpecSections(t *testing.T) {
+	sp, ok := scenario.Lookup("harsh")
+	if !ok {
+		t.Fatal("registry lost the harsh scenario")
+	}
+	rc, err := FromScenario(sp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Collisions || rc.CSMA == nil {
+		t.Errorf("collisions/CSMA not applied: %+v", rc)
+	}
+	if rc.FailFraction != 0.1 {
+		t.Errorf("failure fraction = %g", rc.FailFraction)
+	}
+	if rc.Loss == nil || rc.Loss.MaxRange() != 12 {
+		t.Errorf("loss model = %v", rc.Loss)
+	}
+	rep, err := RunOnce(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, n := range rep.Nodes {
+		if n.Failed {
+			failed++
+		}
+	}
+	if failed != 4 { // 10% of 40
+		t.Errorf("%d nodes failed, want 4", failed)
+	}
+}
+
+func TestFromScenarioProtocolOverrides(t *testing.T) {
+	sp, _ := scenario.Lookup("paper")
+	sp.Protocol = scenario.ProtocolSpec{Name: "sas", MaxSleep: 25, AlertThreshold: 12}
+	rc, err := FromScenario(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Protocol != "sas" {
+		t.Errorf("protocol = %q", rc.Protocol)
+	}
+	if rc.PAS.SleepMax != 25 || rc.PAS.SleepIncrement != 5 || rc.SAS.SleepMax != 25 {
+		t.Errorf("sleep overrides not applied: PAS %+v SAS %+v", rc.PAS, rc.SAS)
+	}
+	if rc.PAS.AlertThreshold != 12 || rc.SAS.AlertThreshold != 12 {
+		t.Errorf("threshold override not applied")
+	}
+	// A spec that sets only the increment (no cap) must still take effect.
+	sp.Protocol = scenario.ProtocolSpec{SleepIncrement: 2.5}
+	rc, err = FromScenario(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.PAS.SleepIncrement != 2.5 || rc.SAS.SleepIncrement != 2.5 {
+		t.Errorf("increment-only override lost: PAS %+v SAS %+v", rc.PAS, rc.SAS)
+	}
+	if _, err := FromScenario(scenario.Scenario{Name: "bad"}, 1); err == nil {
+		t.Error("invalid spec compiled")
+	}
+}
+
+// TestRunConfigDeploymentKinds runs every structured deployment kind end to
+// end on the paper workload.
+func TestRunConfigDeploymentKinds(t *testing.T) {
+	for _, name := range []string{"grid", "clustered", "poisson"} {
+		sp, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("registry lost scenario %q", name)
+		}
+		rc, err := FromScenario(sp, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunOnce(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Nodes) != sp.Nodes {
+			t.Errorf("%s: %d node reports, want %d", name, len(rep.Nodes), sp.Nodes)
+		}
+		if rep.AvgEnergyJ <= 0 {
+			t.Errorf("%s: no energy accounted", name)
+		}
+	}
+}
+
+// TestExtScaleDeterministicAcrossParallelism pins the numeric output of the
+// scale sweep (curves, not the wall-clock notes) across worker counts.
+func TestExtScaleDeterministicAcrossParallelism(t *testing.T) {
+	opts := Options{Quick: true, Seeds: DefaultSeeds(2)}
+	serial := opts
+	serial.Parallelism = 1
+	a, err := ExtScale(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := opts
+	parallel.Parallelism = 8
+	b, err := ExtScale(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Curves, b.Curves) {
+		t.Errorf("scale curves diverged across parallelism:\nserial   %+v\nparallel %+v", a.Curves, b.Curves)
+	}
+	if len(a.Curves) != 6 { // delay + energy per protocol
+		t.Errorf("%d curves, want 6", len(a.Curves))
+	}
+	for _, c := range a.Curves {
+		if len(c.Points) != 2 { // Quick: 100 and 1000 nodes
+			t.Errorf("curve %s has %d points, want 2", c.Name, len(c.Points))
+		}
+	}
+	// NS is the always-on baseline: zero delay at every size.
+	ns, ok := a.Curve(ProtoNS)
+	if !ok {
+		t.Fatal("missing NS curve")
+	}
+	for _, p := range ns.Points {
+		if p.Y != 0 {
+			t.Errorf("NS delay at %g nodes = %g, want 0", p.X, p.Y)
+		}
+	}
+}
+
+func TestScenarioSweep(t *testing.T) {
+	exp, err := ScenarioSweep("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "scenario-grid" || !strings.Contains(exp.Title, "grid") {
+		t.Errorf("experiment identity: %q / %q", exp.ID, exp.Title)
+	}
+	res, err := exp.Run(Options{Quick: true, Seeds: DefaultSeeds(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 6 {
+		t.Errorf("%d curves, want 6", len(res.Curves))
+	}
+	pas, ok := res.Curve(ProtoPAS)
+	if !ok || len(pas.Points) != 2 {
+		t.Fatalf("PAS curve = %+v, ok %v", pas, ok)
+	}
+	if _, err := ScenarioSweep("atlantis"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

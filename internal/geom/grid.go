@@ -132,6 +132,40 @@ func NewSpatialHash(bounds Rect, cell float64, points []Vec2) *SpatialHash {
 	return h
 }
 
+// Insert appends p to the indexed point set and returns its index. It makes
+// the hash usable incrementally (build empty, then insert accepted points one
+// by one — the dart-throwing pattern of deploy.PoissonDisk). Hashes built
+// over a caller-owned slice may reallocate it on Insert; callers that keep
+// querying through the hash are unaffected.
+func (h *SpatialHash) Insert(p Vec2) int {
+	idx := len(h.points)
+	h.points = append(h.points, p)
+	i, j := h.grid.Cell(p)
+	k := h.grid.Index(i, j)
+	h.buckets[k] = append(h.buckets[k], idx)
+	return idx
+}
+
+// AnyWithin reports whether any indexed point lies strictly within distance r
+// of q. Unlike NearAppend it exits on the first hit and uses a strict
+// inequality, matching the Poisson-disk acceptance rule (a dart exactly at
+// minDist is accepted).
+func (h *SpatialHash) AnyWithin(q Vec2, r float64) bool {
+	i0, j0 := h.grid.Cell(q.Sub(Vec2{r, r}))
+	i1, j1 := h.grid.Cell(q.Add(Vec2{r, r}))
+	r2 := r * r
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			for _, idx := range h.buckets[h.grid.Index(i, j)] {
+				if h.points[idx].Dist2(q) < r2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // Near returns the indices of all points within radius r of q, in ascending
 // index order. It allocates a fresh result slice; hot paths that query every
 // event should use NearAppend with a reused buffer instead.

@@ -134,6 +134,40 @@ func TestSpatialHashZeroCell(t *testing.T) {
 	}
 }
 
+func TestSpatialHashInsertAndAnyWithin(t *testing.T) {
+	h := NewSpatialHash(R(0, 0, 100, 100), 10, nil)
+	if h.AnyWithin(V(50, 50), 10) {
+		t.Error("empty hash reported a near point")
+	}
+	if idx := h.Insert(V(50, 50)); idx != 0 {
+		t.Errorf("first insert index = %d", idx)
+	}
+	if idx := h.Insert(V(80, 20)); idx != 1 {
+		t.Errorf("second insert index = %d", idx)
+	}
+	if !h.AnyWithin(V(53, 54), 10) {
+		t.Error("inserted point not found within radius")
+	}
+	// AnyWithin is strict: a point exactly at distance r does not count
+	// (Poisson-disk accepts darts exactly at minDist).
+	if h.AnyWithin(V(60, 50), 10) {
+		t.Error("point exactly at distance r counted as within")
+	}
+	if !h.AnyWithin(V(60, 50), 10.000001) {
+		t.Error("point just inside r missed")
+	}
+	// Inserted points participate in Near queries too.
+	near := h.Near(V(79, 21), 5)
+	if len(near) != 1 || near[0] != 1 {
+		t.Errorf("Near after Insert = %v, want [1]", near)
+	}
+	// Queries near the border must not panic (window clamps to the grid).
+	h.Insert(V(0, 0))
+	if !h.AnyWithin(V(-3, -3), 5) {
+		t.Error("corner point not found from outside the field")
+	}
+}
+
 func TestQuickSpatialHashMatchesBruteForce(t *testing.T) {
 	f := func(raw [12]float64, qx, qy, r float64) bool {
 		pts := make([]Vec2, 0, 6)

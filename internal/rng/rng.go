@@ -28,23 +28,37 @@ func (s *Source) Seed() int64 { return int64(s.seed) }
 // Stream twice with the same name returns independently-seeded generators in
 // identical initial states.
 func (s *Source) Stream(name string) *Stream {
-	h := fnv.New64a()
-	// The hash of the name is mixed with the master seed via a splitmix64
-	// round to decorrelate similar names.
-	h.Write([]byte(name))
-	x := h.Sum64() ^ s.seed
-	x = splitmix64(x)
-	return &Stream{Rand: rand.New(rand.NewSource(int64(x)))}
+	return &Stream{Rand: rand.New(rand.NewSource(int64(streamState(nameHash(name), s.seed))))}
 }
 
 // StreamN returns a numbered variant of a named stream (e.g. one stream per
 // node or per replication).
 func (s *Source) StreamN(name string, n int) *Stream {
+	return &Stream{Rand: rand.New(rand.NewSource(int64(streamStateN(nameHash(name), s.seed, uint64(n)))))}
+}
+
+// nameHash is the FNV-64a hash of a stream name.
+func nameHash(name string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	x := h.Sum64() ^ s.seed ^ (uint64(n)+1)*0x9e3779b97f4a7c15
-	x = splitmix64(x)
-	return &Stream{Rand: rand.New(rand.NewSource(int64(x)))}
+	return h.Sum64()
+}
+
+// streamState derives the generator state of a named stream: the name hash is
+// mixed with the master seed via a splitmix64 round to decorrelate similar
+// names.
+func streamState(nameH, seed uint64) uint64 {
+	return splitmix64(nameH ^ seed)
+}
+
+// streamStateN derives the state of the n-th numbered variant of a named
+// stream. The index is mixed through its own splitmix64 round before being
+// folded into the fully mixed base state, which then passes through a final
+// round — a bare XOR of hash, seed and index before a single round let
+// distinct (name, n) pairs cancel into collisions and correlate with the
+// unnumbered Stream(name) state.
+func streamStateN(nameH, seed, n uint64) uint64 {
+	return splitmix64(streamState(nameH, seed) + splitmix64(n))
 }
 
 // splitmix64 is the finalizing mix from the splitmix64 generator; it turns

@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,12 @@ func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // On error the pool cancels: no new jobs are claimed, in-flight jobs finish,
 // and Map returns the error of the lowest-indexed job that failed. Results
 // are nil on error.
+//
+// A job that panics under parallelism is reported as an error instead of
+// killing the process: a panic in a worker goroutine is unrecoverable by the
+// caller, so the pool catches it at the job boundary. The serial path
+// deliberately lets panics propagate unchanged (parallelism 1 reproduces a
+// plain loop, stack trace included).
 func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -50,6 +57,14 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 			out[i] = v
 		}
 		return out, nil
+	}
+	safeJob := func(i int) (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+			}
+		}()
+		return job(i)
 	}
 
 	var (
@@ -72,7 +87,7 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				v, err := job(i)
+				v, err := safeJob(i)
 				if err != nil {
 					errMu.Lock()
 					if i < errIdx {

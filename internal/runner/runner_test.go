@@ -3,6 +3,7 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -130,4 +131,23 @@ func TestDefaultParallelism(t *testing.T) {
 	if DefaultParallelism() < 1 {
 		t.Fatalf("DefaultParallelism() = %d", DefaultParallelism())
 	}
+}
+
+func TestMapConvertsWorkerPanicsToErrors(t *testing.T) {
+	_, err := Map(4, 8, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("worker panic not converted: err = %v", err)
+	}
+	// The serial path reproduces a plain loop: panics propagate to the caller.
+	defer func() {
+		if recover() == nil {
+			t.Error("serial panic swallowed")
+		}
+	}()
+	_, _ = Map(1, 2, func(int) (int, error) { panic("serial boom") })
 }

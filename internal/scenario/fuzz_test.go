@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioJSON fuzzes the scenario codec: any input that decodes must
+// re-encode canonically (decode → encode → decode is the identity, and the
+// second encode is byte-identical). The registry seeds the corpus so the
+// fuzzer starts from every spec shape we ship.
+func FuzzScenarioJSON(f *testing.F) {
+	for _, sp := range All() {
+		data, err := sp.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","field":{"Min":{"X":0,"Y":0},"Max":{"X":9,"Y":9}},"nodes":2,"horizon":1,` +
+		`"radio":{"range":3},"stimulus":{"kind":"radial","speed":1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Decode(data)
+		if err != nil {
+			return // invalid inputs must only error, never panic
+		}
+		enc, err := sp.Encode()
+		if err != nil {
+			t.Fatalf("decoded spec failed to encode: %v\ninput: %s", err, data)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("round trip drifted:\nfirst  %+v\nsecond %+v", sp, back)
+		}
+		enc2, err := back.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

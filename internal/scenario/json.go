@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Encode renders the scenario as indented JSON. Encoding validates first, so
+// a spec that encodes is guaranteed to decode back.
+func (s Scenario) Encode() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, fmt.Errorf("scenario: encoding %s: %w", s.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses and validates a JSON scenario. Unknown fields are rejected so
+// a typo in a hand-written spec fails loudly instead of silently defaulting.
+func Decode(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripRegistry(t *testing.T) {
+	for _, sp := range All() {
+		data, err := sp.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", sp.Name, err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v\n%s", sp.Name, err, data)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Errorf("%s: round trip drifted:\nbefore %+v\nafter  %+v", sp.Name, sp, back)
+		}
+		again, err := back.Encode()
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", sp.Name, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: encoding not canonical:\n%s\nvs\n%s", sp.Name, data, again)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	sp, _ := Lookup("paper")
+	sp.Nodes = -3
+	if _, err := sp.Encode(); err == nil {
+		t.Error("invalid spec encoded")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"unknown field": `{"name":"x","field":{"Min":{"X":0,"Y":0},"Max":{"X":1,"Y":1}},"nodes":1,"horizon":1,"warpDrive":true}`,
+		"invalid spec":  `{"name":"x"}`,
+		"trailing data": `{"name":"x"} extra`,
+	}
+	for name, data := range cases {
+		if _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeHandwritten(t *testing.T) {
+	data := `{
+	  "name": "custom",
+	  "field": {"Min": {"X": 0, "Y": 0}, "Max": {"X": 50, "Y": 50}},
+	  "nodes": 40,
+	  "horizon": 120,
+	  "deployment": {"kind": "poisson", "minDist": 4},
+	  "radio": {"range": 12, "loss": "lossy", "lossProb": 0.1},
+	  "stimulus": {"kind": "radial", "origin": {"X": 0, "Y": 25}, "speed": 0.6, "start": 5},
+	  "failures": {"fraction": 0.05},
+	  "protocol": {"name": "pas", "maxSleep": 15}
+	}`
+	sp, err := Decode([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Deployment.Kind != DeployPoisson || sp.Radio.LossProb != 0.1 || sp.Protocol.MaxSleep != 15 {
+		t.Errorf("decoded spec = %+v", sp)
+	}
+	if _, err := sp.BuildStimulus(1); err != nil {
+		t.Errorf("hand-written spec does not build: %v", err)
+	}
+}
+
+func TestDecodeErrorsAreDescriptive(t *testing.T) {
+	_, err := Decode([]byte(`{"name":"x","nodes":5}`))
+	if err == nil || !strings.Contains(err.Error(), "field") {
+		t.Errorf("validation error %v does not name the problem", err)
+	}
+}

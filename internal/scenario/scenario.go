@@ -1,0 +1,312 @@
+// Package scenario is the declarative workload subsystem of the PAS
+// reproduction: a Scenario value composes a deployment kind, field size, node
+// count, radio range and loss model, stimulus model, failure injection and
+// protocol parameters into one self-describing, JSON-serializable spec. The
+// named registry (All/Lookup) carries the paper's workload plus every
+// extension scenario and the production-scale deployments; the experiment
+// harness compiles a spec into a runnable configuration, and the CLIs select
+// specs with -scenario.
+//
+// A spec is pure data: building it draws nothing from any RNG. All
+// randomness (deployment draws, anisotropic harmonic draws, channel loss) is
+// deferred to build time and derived from the run seed, so the same
+// (scenario, seed) pair always produces the same simulation.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/deploy"
+	"repro/internal/diffusion"
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Deployment kinds accepted by DeploymentSpec.Kind.
+const (
+	DeployUniform   = "uniform" // connected uniform draw (the paper's, default)
+	DeployGrid      = "grid"    // jittered lattice
+	DeployClustered = "clustered"
+	DeployPoisson   = "poisson" // Poisson-disk dart throwing
+)
+
+// Loss-model kinds accepted by RadioSpec.Loss.
+const (
+	LossUnit    = "unit" // perfect unit disk (default)
+	LossLossy   = "lossy"
+	LossFalloff = "falloff"
+)
+
+// Stimulus kinds accepted by StimulusSpec.Kind.
+const (
+	StimRadial      = "radial"
+	StimAdvected    = "advected"
+	StimAnisotropic = "anisotropic"
+	StimMulti       = "multi"
+	StimPlume       = "plume"
+	StimEikonal     = "eikonal"
+)
+
+// Scenario is one fully described workload. The zero value is not valid; use
+// the registry entries or fill every section and Validate.
+type Scenario struct {
+	// Name is the registry/CLI identifier (e.g. "paper", "scale-10k").
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+	// Field is the deployment area in metres.
+	Field geom.Rect `json:"field"`
+	// Nodes is the deployment size.
+	Nodes int `json:"nodes"`
+	// Horizon is the simulated duration in seconds.
+	Horizon float64 `json:"horizon"`
+	// Deployment selects how node positions are drawn.
+	Deployment DeploymentSpec `json:"deployment"`
+	// Radio describes the channel.
+	Radio RadioSpec `json:"radio"`
+	// Stimulus describes the monitored phenomenon.
+	Stimulus StimulusSpec `json:"stimulus"`
+	// Failures optionally kills a fraction of nodes at random times.
+	Failures FailureSpec `json:"failures,omitzero"`
+	// Protocol optionally overrides protocol tunables.
+	Protocol ProtocolSpec `json:"protocol,omitzero"`
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (s Scenario) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("scenario: missing name")
+	case s.Field.Width() <= 0 || s.Field.Height() <= 0:
+		return fmt.Errorf("scenario %s: field %v has no area", s.Name, s.Field)
+	case s.Nodes <= 0:
+		return fmt.Errorf("scenario %s: node count %d must be positive", s.Name, s.Nodes)
+	case s.Horizon <= 0:
+		return fmt.Errorf("scenario %s: horizon %g must be positive", s.Name, s.Horizon)
+	}
+	if err := s.Deployment.validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := s.Radio.validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := s.Stimulus.validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := s.Failures.validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := s.Protocol.validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// BuildStimulus compiles the stimulus spec into the diffusion scenario the
+// run path consumes; seed parameterizes the stochastic stimuli.
+func (s Scenario) BuildStimulus(seed int64) (diffusion.Scenario, error) {
+	stim, err := s.Stimulus.Build(seed)
+	if err != nil {
+		return diffusion.Scenario{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return diffusion.Scenario{
+		Name:        s.Name,
+		Description: s.Description,
+		Field:       s.Field,
+		Horizon:     s.Horizon,
+		Stimulus:    stim,
+	}, nil
+}
+
+// DeploymentSpec selects a deployment generator. The zero value is the
+// paper's connected-uniform draw. The struct is comparable on purpose: the
+// experiment harness uses it inside its deployment-memoization key.
+type DeploymentSpec struct {
+	// Kind is one of the Deploy* constants ("" = uniform).
+	Kind string `json:"kind,omitempty"`
+	// Jitter is the grid positional jitter as a fraction of the cell size.
+	Jitter float64 `json:"jitter,omitempty"`
+	// Clusters is the cluster count for clustered deployments.
+	Clusters int `json:"clusters,omitempty"`
+	// Spread is the Gaussian cluster spread in metres.
+	Spread float64 `json:"spread,omitempty"`
+	// MinDist is the Poisson-disk minimum pairwise spacing in metres
+	// (0 = 70% of the mean uniform spacing sqrt(area/n)).
+	MinDist float64 `json:"minDist,omitempty"`
+}
+
+func (d DeploymentSpec) validate() error {
+	switch d.Kind {
+	case "", DeployUniform, DeployGrid, DeployClustered, DeployPoisson:
+	default:
+		return fmt.Errorf("unknown deployment kind %q", d.Kind)
+	}
+	switch {
+	case d.Jitter < 0 || d.Jitter > 0.49:
+		return fmt.Errorf("grid jitter %g outside [0, 0.49]", d.Jitter)
+	case d.Clusters < 0:
+		return fmt.Errorf("negative cluster count %d", d.Clusters)
+	case d.Spread < 0:
+		return fmt.Errorf("negative cluster spread %g", d.Spread)
+	case d.MinDist < 0:
+		return fmt.Errorf("negative poisson spacing %g", d.MinDist)
+	}
+	return nil
+}
+
+// Generate draws the deployment for the spec. The uniform kind rejects
+// disconnected layouts exactly as the paper harness always has (and panics
+// when maxAttempts draws cannot connect); the structured kinds are connected
+// by construction (grid) or intentionally clumpy (clustered, poisson) and are
+// used as-is.
+func (d DeploymentSpec) Generate(st *rng.Stream, field geom.Rect, n int, radius float64, maxAttempts int) *deploy.Deployment {
+	switch d.Kind {
+	case "", DeployUniform:
+		return deploy.ConnectedUniform(st, field, n, radius, maxAttempts)
+	case DeployGrid:
+		// Lattice dimensions follow the field aspect ratio so cells stay
+		// near-square; the lattice covers at least n cells and the surplus
+		// positions (at the row-major tail) are dropped.
+		aspect := field.Width() / field.Height()
+		nx := int(math.Ceil(math.Sqrt(float64(n) * aspect)))
+		if nx < 1 {
+			nx = 1
+		}
+		ny := (n + nx - 1) / nx
+		dep := deploy.Grid(st, field, nx, ny, d.Jitter)
+		dep.Positions = dep.Positions[:n]
+		return dep
+	case DeployClustered:
+		clusters := d.Clusters
+		if clusters <= 0 {
+			clusters = 5
+		}
+		if clusters > n {
+			clusters = n
+		}
+		spread := d.Spread
+		if spread <= 0 {
+			spread = 0.1 * math.Min(field.Width(), field.Height())
+		}
+		per := (n + clusters - 1) / clusters
+		dep := deploy.Clustered(st, field, clusters, per, spread)
+		dep.Positions = dep.Positions[:n]
+		return dep
+	case DeployPoisson:
+		minDist := d.MinDist
+		if minDist <= 0 {
+			minDist = 0.7 * math.Sqrt(field.Area()/float64(n))
+		}
+		dep := deploy.PoissonDisk(st, field, n, minDist)
+		if dep.N() < n {
+			// The scenario declares n nodes; silently simulating a thinner
+			// network would misreport every per-node metric. Saturation is a
+			// spec bug, handled like ConnectedUniform infeasibility.
+			panic(fmt.Sprintf("scenario: poisson deployment saturated at %d of %d nodes (minDist %g over %v); enlarge the field or shrink minDist",
+				dep.N(), n, minDist, field))
+		}
+		return dep
+	default:
+		panic(fmt.Sprintf("scenario: unknown deployment kind %q", d.Kind))
+	}
+}
+
+// RadioSpec describes the channel: transmission range, loss model and MAC
+// options.
+type RadioSpec struct {
+	// Range is the transmission range in metres.
+	Range float64 `json:"range"`
+	// Loss is one of the Loss* constants ("" = unit disk).
+	Loss string `json:"loss,omitempty"`
+	// LossProb is the per-packet drop probability of the lossy model.
+	LossProb float64 `json:"lossProb,omitempty"`
+	// Reliable is the falloff model's perfect inner radius
+	// (0 = 60% of Range).
+	Reliable float64 `json:"reliable,omitempty"`
+	// Collisions enables destructive-collision modelling.
+	Collisions bool `json:"collisions,omitempty"`
+	// CSMA enables carrier sensing with the default backoff parameters.
+	CSMA bool `json:"csma,omitempty"`
+}
+
+func (r RadioSpec) validate() error {
+	switch {
+	case r.Range <= 0:
+		return fmt.Errorf("radio range %g must be positive", r.Range)
+	case r.LossProb < 0 || r.LossProb >= 1:
+		return fmt.Errorf("loss probability %g outside [0, 1)", r.LossProb)
+	case r.Reliable < 0 || r.Reliable > r.Range:
+		return fmt.Errorf("falloff reliable radius %g outside [0, range]", r.Reliable)
+	}
+	switch r.Loss {
+	case "", LossUnit, LossLossy, LossFalloff:
+		return nil
+	default:
+		return fmt.Errorf("unknown loss model %q", r.Loss)
+	}
+}
+
+// Model builds the channel loss model of the spec.
+func (r RadioSpec) Model() (radio.LossModel, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	switch r.Loss {
+	case "", LossUnit:
+		return radio.UnitDisk{Range: r.Range}, nil
+	case LossLossy:
+		return radio.LossyDisk{Range: r.Range, LossProb: r.LossProb}, nil
+	default: // LossFalloff
+		reliable := r.Reliable
+		if reliable <= 0 {
+			reliable = 0.6 * r.Range
+		}
+		return radio.DistanceFalloff{Reliable: reliable, Max: r.Range}, nil
+	}
+}
+
+// FailureSpec kills Fraction of the nodes at uniform random times in
+// [0, By] (By 0 = the horizon).
+type FailureSpec struct {
+	Fraction float64 `json:"fraction,omitempty"`
+	By       float64 `json:"by,omitempty"`
+}
+
+func (f FailureSpec) validate() error {
+	if f.Fraction < 0 || f.Fraction > 1 {
+		return fmt.Errorf("failure fraction %g outside [0, 1]", f.Fraction)
+	}
+	if f.By < 0 {
+		return fmt.Errorf("negative failure deadline %g", f.By)
+	}
+	return nil
+}
+
+// ProtocolSpec optionally pins the protocol and its headline tunables; zero
+// fields defer to the run configuration (which the CLIs and experiments
+// control). It deliberately exposes only the knobs the paper sweeps — full
+// control remains available through the core/sas config types.
+type ProtocolSpec struct {
+	// Name is "pas", "sas", "ns" or "duty" ("" = caller's choice).
+	Name string `json:"name,omitempty"`
+	// MaxSleep caps the sleep ramp; the increment follows as MaxSleep/5
+	// unless SleepIncrement is set.
+	MaxSleep       float64 `json:"maxSleep,omitempty"`
+	SleepIncrement float64 `json:"sleepIncrement,omitempty"`
+	// AlertThreshold is the PAS alert time T_alert.
+	AlertThreshold float64 `json:"alertThreshold,omitempty"`
+}
+
+func (p ProtocolSpec) validate() error {
+	switch p.Name {
+	case "", "pas", "sas", "ns", "duty":
+	default:
+		return fmt.Errorf("unknown protocol %q", p.Name)
+	}
+	if p.MaxSleep < 0 || p.SleepIncrement < 0 || p.AlertThreshold < 0 {
+		return fmt.Errorf("negative protocol tunable in %+v", p)
+	}
+	return nil
+}

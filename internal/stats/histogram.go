@@ -7,13 +7,15 @@ import (
 )
 
 // Histogram accumulates samples into fixed-width bins over [Lo, Hi]. Samples
-// outside the range are counted in the underflow/overflow tallies so nothing
-// is silently dropped.
+// outside the range are counted in the underflow/overflow tallies, and NaN
+// samples in their own tally, so nothing is silently dropped — and corrupt
+// data is not misreported as merely "below range".
 type Histogram struct {
 	Lo, Hi    float64
 	Counts    []int
 	Underflow int
 	Overflow  int
+	NaN       int
 	total     int
 }
 
@@ -29,10 +31,15 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
 }
 
-// Add incorporates one sample.
+// Add incorporates one sample. NaN samples are tallied separately — they are
+// corrupt data, not values below the range.
 func (h *Histogram) Add(x float64) {
 	h.total++
-	if math.IsNaN(x) || x < h.Lo {
+	if math.IsNaN(x) {
+		h.NaN++
+		return
+	}
+	if x < h.Lo {
 		h.Underflow++
 		return
 	}
@@ -89,6 +96,9 @@ func (h *Histogram) Render(width int) string {
 	}
 	if h.Overflow > 0 {
 		fmt.Fprintf(&b, "%10s | %d\n", ">=hi", h.Overflow)
+	}
+	if h.NaN > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", "NaN", h.NaN)
 	}
 	return b.String()
 }

@@ -17,11 +17,14 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Total() != 9 {
 		t.Errorf("Total = %d, want 9", h.Total())
 	}
-	if h.Underflow != 2 { // -1 and NaN
-		t.Errorf("Underflow = %d, want 2", h.Underflow)
+	if h.Underflow != 1 { // -1; NaN has its own tally
+		t.Errorf("Underflow = %d, want 1", h.Underflow)
 	}
 	if h.Overflow != 1 {
 		t.Errorf("Overflow = %d, want 1", h.Overflow)
+	}
+	if h.NaN != 1 {
+		t.Errorf("NaN = %d, want 1", h.NaN)
 	}
 	wantCounts := []int{2, 1, 1, 1, 1}
 	for i, w := range wantCounts {
@@ -44,12 +47,22 @@ func TestHistogramRender(t *testing.T) {
 	h.Add(3)
 	h.Add(-5)
 	h.Add(99)
+	h.Add(math.NaN())
 	out := h.Render(10)
 	if !strings.Contains(out, "#") {
 		t.Error("render has no bars")
 	}
 	if !strings.Contains(out, "<lo") || !strings.Contains(out, ">=hi") {
 		t.Error("render missing overflow rows")
+	}
+	if !strings.Contains(out, "NaN") {
+		t.Error("render missing the NaN row")
+	}
+	// Without NaN samples the row is absent.
+	clean := NewHistogram(0, 4, 2)
+	clean.Add(1)
+	if strings.Contains(clean.Render(10), "NaN") {
+		t.Error("NaN row rendered with no NaN samples")
 	}
 	// Zero width falls back to default.
 	if out := h.Render(0); out == "" {
@@ -99,11 +112,22 @@ func TestFitLineDegenerate(t *testing.T) {
 	if f.Slope != 0 || !almost(f.Intercept, 4, 1e-12) {
 		t.Errorf("zero-variance fit = %+v", f)
 	}
-	// Mismatched lengths use the shorter prefix.
-	f = FitLine([]float64{0, 1, 2, 99}, []float64{0, 1, 2})
-	if !almost(f.Slope, 1, 1e-12) {
-		t.Errorf("prefix fit = %+v", f)
+}
+
+func TestRegressionLengthMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
 	}
+	// Mismatched lengths are caller bugs; silently truncating to the shorter
+	// prefix used to hide them.
+	mustPanic("FitLine long xs", func() { FitLine([]float64{0, 1, 2, 99}, []float64{0, 1, 2}) })
+	mustPanic("FitLine long ys", func() { FitLine([]float64{0, 1}, []float64{0, 1, 2}) })
+	mustPanic("SpearmanRank mismatch", func() { SpearmanRank([]float64{1, 2, 3}, []float64{1, 2}) })
 }
 
 func TestFitLineNoisy(t *testing.T) {

@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // LinearFit is the result of an ordinary-least-squares line fit y = a + b·x.
 // The reproduction tests use it to assert trend shapes (e.g. "detection delay
@@ -12,19 +16,20 @@ type LinearFit struct {
 	N         int
 }
 
-// FitLine computes an OLS fit of ys against xs. The slices must have equal
-// length; fewer than two points (or zero x-variance) yields a horizontal line
-// through the mean with R2 = 0.
+// FitLine computes an OLS fit of ys against xs. Mismatched lengths panic —
+// silently truncating to the shorter slice hides caller bugs (consistent with
+// NewHistogram's contract). Fewer than two points (or zero x-variance) yields
+// a horizontal line through the mean with R2 = 0.
 func FitLine(xs, ys []float64) LinearFit {
-	n := len(xs)
-	if len(ys) < n {
-		n = len(ys)
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: FitLine length mismatch: %d xs vs %d ys", len(xs), len(ys)))
 	}
+	n := len(xs)
 	if n == 0 {
 		return LinearFit{}
 	}
-	mx := Mean(xs[:n])
-	my := Mean(ys[:n])
+	mx := Mean(xs)
+	my := Mean(ys)
 	var sxx, sxy, syy float64
 	for i := 0; i < n; i++ {
 		dx := xs[i] - mx
@@ -50,18 +55,18 @@ func FitLine(xs, ys []float64) LinearFit {
 func (f LinearFit) At(x float64) float64 { return f.Intercept + f.Slope*x }
 
 // SpearmanRank returns the Spearman rank correlation between xs and ys, a
-// robust monotonicity measure for shape assertions. Ties receive average
-// ranks. Returns 0 when there are fewer than 2 points or zero variance.
+// robust monotonicity measure for shape assertions. Mismatched lengths panic
+// (see FitLine). Ties receive average ranks. Returns 0 when there are fewer
+// than 2 points or zero variance.
 func SpearmanRank(xs, ys []float64) float64 {
-	n := len(xs)
-	if len(ys) < n {
-		n = len(ys)
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: SpearmanRank length mismatch: %d xs vs %d ys", len(xs), len(ys)))
 	}
-	if n < 2 {
+	if len(xs) < 2 {
 		return 0
 	}
-	rx := ranks(xs[:n])
-	ry := ranks(ys[:n])
+	rx := ranks(xs)
+	ry := ranks(ys)
 	fit := FitLine(rx, ry)
 	if fit.Slope == 0 {
 		return 0
@@ -77,12 +82,7 @@ func ranks(xs []float64) []float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	// Insertion sort of indices by value: n is small in every caller.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && xs[idx[j]] < xs[idx[j-1]]; j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
-		}
-	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i

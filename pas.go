@@ -27,6 +27,30 @@
 //		fmt.Println(res.Render())
 //	}
 //
+// # Scenarios
+//
+// Workloads are declarative: a ScenarioSpec composes a deployment kind
+// (uniform / grid / clustered / poisson), field size, node count, radio
+// range and loss model, stimulus model (radial / advected / anisotropic /
+// multi-source / PDE plume / eikonal terrain), failure injection and
+// protocol parameters, and serializes to JSON (Encode/DecodeScenario).
+// Scenarios() is the named registry — the paper's Figs. 4–7 workload is its
+// first entry, followed by the extension workloads and the production-scale
+// grid deployments scale-100 / scale-1k / scale-10k (ScaleScenario(n) for
+// arbitrary sizes). RunConfigFromScenario compiles a spec into a RunConfig:
+//
+//	sp, _ := pas.LookupScenario("scale-10k")
+//	cfg, err := pas.RunConfigFromScenario(sp, 1)
+//	cfg.Protocol = pas.ProtoPAS
+//	report, err := pas.Run(cfg)
+//
+// The CLIs select specs with -scenario: passim runs one (passim -scenario
+// poisson), pasbench sweeps one (pasbench -scenario scale-1k), and the
+// ext-scale experiment sweeps the deployment size across 100/1k/10k nodes.
+// The 10 000-node runs complete in seconds: deployment generation, neighbour
+// search and delivery are all spatial-hash based (nothing on the run path is
+// O(n²) in the node count), and BenchmarkScale10k pins the cost.
+//
 // # Parallel replication
 //
 // Every (experiment × sweep-point × protocol × seed) cell of the evaluation
@@ -125,6 +149,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/sas"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -252,34 +277,77 @@ func TerrainScenario() (Scenario, error) { return diffusion.TerrainScenario() }
 // lifetime workload.
 func QuietScenario() Scenario { return diffusion.QuietScenario() }
 
-// ScenarioNames lists the named scenarios accepted by ScenarioByName.
-func ScenarioNames() []string {
-	return []string{"paper", "irregular", "gasleak", "twinspill", "passing", "plume", "terrain", "quiet"}
+// Declarative scenario specs (the scenario registry).
+type (
+	// ScenarioSpec is a declarative, JSON-serializable workload: deployment
+	// kind, field, node count, radio range and loss model, stimulus model,
+	// failure injection and protocol parameters. Scenarios() lists the named
+	// registry; RunConfigFromScenario compiles a spec into a RunConfig.
+	ScenarioSpec = scenario.Scenario
+	// DeploymentSpec selects a deployment generator (uniform, grid,
+	// clustered, poisson); the zero value is the paper's connected-uniform
+	// draw.
+	DeploymentSpec = scenario.DeploymentSpec
+	// RadioSpec describes the channel (range, loss model, collisions, CSMA).
+	RadioSpec = scenario.RadioSpec
+	// StimulusSpec declaratively describes a stimulus (radial, advected,
+	// anisotropic, multi-source, PDE plume, eikonal terrain).
+	StimulusSpec = scenario.StimulusSpec
+	// FailureSpec kills a fraction of nodes at random times.
+	FailureSpec = scenario.FailureSpec
+	// ProtocolSpec optionally pins the protocol and its headline tunables.
+	ProtocolSpec = scenario.ProtocolSpec
+)
+
+// Scenarios returns the named scenario registry: the paper's Figs. 4–7
+// workload first, then the extension workloads, the structured-deployment
+// showcases and the production-scale (scale-100/1k/10k) deployments.
+func Scenarios() []ScenarioSpec { return scenario.All() }
+
+// LookupScenario finds a registry scenario by name (e.g. "paper",
+// "scale-10k").
+func LookupScenario(name string) (ScenarioSpec, bool) { return scenario.Lookup(name) }
+
+// ScaleScenario returns the production-scale grid scenario with n nodes at
+// the paper's deployment density.
+func ScaleScenario(n int) ScenarioSpec { return scenario.Scale(n) }
+
+// DecodeScenario parses and validates a JSON scenario spec (the format
+// written by ScenarioSpec.Encode); unknown fields are rejected.
+func DecodeScenario(data []byte) (ScenarioSpec, error) { return scenario.Decode(data) }
+
+// RunConfigFromScenario compiles a scenario spec into a run config; seed
+// parameterizes the stochastic stimuli and the deployment draw. Protocol and
+// tunables may still be overridden on the result.
+func RunConfigFromScenario(sp ScenarioSpec, seed int64) (RunConfig, error) {
+	return experiment.FromScenario(sp, seed)
 }
 
-// ScenarioByName resolves a scenario by its CLI name; seed parameterizes the
-// stochastic ones (irregular).
+// ScenarioSweepExperiment builds an on-the-fly experiment running the
+// standard maximum-sleep sweep (NS/PAS/SAS, delay and energy) over a named
+// registry scenario — the engine behind `pasbench -scenario`.
+func ScenarioSweepExperiment(name string) (Experiment, error) {
+	return experiment.ScenarioSweep(name)
+}
+
+// ScenarioNames lists the registry scenarios accepted by ScenarioByName and
+// the CLIs' -scenario flags.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName resolves a registry scenario by name and builds its
+// stimulus; seed parameterizes the stochastic ones (irregular). The empty
+// name means "paper". Callers that also want the scenario's deployment,
+// channel and protocol sections should use LookupScenario +
+// RunConfigFromScenario instead.
 func ScenarioByName(name string, seed int64) (Scenario, error) {
-	switch name {
-	case "paper", "":
-		return diffusion.PaperScenario(), nil
-	case "irregular":
-		return diffusion.IrregularScenario(seed), nil
-	case "gasleak":
-		return diffusion.GasLeakScenario(), nil
-	case "twinspill":
-		return diffusion.TwinSpillScenario(), nil
-	case "passing":
-		return diffusion.PassingPlumeScenario(), nil
-	case "plume":
-		return diffusion.PlumeScenario()
-	case "terrain":
-		return diffusion.TerrainScenario()
-	case "quiet":
-		return diffusion.QuietScenario(), nil
-	default:
+	if name == "" {
+		name = "paper"
+	}
+	sp, ok := scenario.Lookup(name)
+	if !ok {
 		return Scenario{}, fmt.Errorf("pas: unknown scenario %q (one of %v)", name, ScenarioNames())
 	}
+	return sp.BuildStimulus(seed)
 }
 
 // PassingPlumeScenario is a receding stimulus (finite dwell), driving the

@@ -119,9 +119,19 @@ func TestScenarioConstructors(t *testing.T) {
 		pas.GasLeakScenario(),
 		pas.TwinSpillScenario(),
 		pas.PassingPlumeScenario(),
+		pas.QuietScenario(),
 	} {
 		if sc.Stimulus == nil || sc.Horizon <= 0 {
 			t.Errorf("scenario %q malformed", sc.Name)
+		}
+	}
+	for name, build := range map[string]func() (pas.Scenario, error){
+		"plume":   pas.PlumeScenario,
+		"terrain": pas.TerrainScenario,
+	} {
+		sc, err := build()
+		if err != nil || sc.Stimulus == nil {
+			t.Errorf("%s scenario: %v", name, err)
 		}
 	}
 }
@@ -144,8 +154,53 @@ func TestScenarioByName(t *testing.T) {
 	}
 	// Empty name defaults to the paper workload.
 	sc, err := pas.ScenarioByName("", 1)
-	if err != nil || sc.Name != "paper-radial" {
+	if err != nil || sc.Name != "paper" {
 		t.Errorf("default scenario = %v, %v", sc.Name, err)
+	}
+}
+
+func TestScenarioSpecPublicAPI(t *testing.T) {
+	specs := pas.Scenarios()
+	if len(specs) == 0 || specs[0].Name != "paper" {
+		t.Fatalf("registry head = %+v", specs)
+	}
+	sp, ok := pas.LookupScenario("scale-1k")
+	if !ok || sp.Nodes != 1000 {
+		t.Fatalf("scale-1k = %+v, ok %v", sp, ok)
+	}
+	if pas.ScaleScenario(5000).Nodes != 5000 {
+		t.Error("ScaleScenario node count")
+	}
+	// JSON round trip through the public helpers.
+	data, err := sp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := pas.DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "scale-1k" {
+		t.Errorf("decoded name %q", back.Name)
+	}
+	// Compile and run a small spec end to end.
+	cfg, err := pas.RunConfigFromScenario(pas.ScaleScenario(100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Protocol = pas.ProtoPAS
+	rep, err := pas.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != 100 {
+		t.Errorf("%d node reports, want 100", len(rep.Nodes))
+	}
+	if _, err := pas.ScenarioSweepExperiment("nope"); err == nil {
+		t.Error("unknown sweep scenario accepted")
+	}
+	if e, err := pas.ScenarioSweepExperiment("clustered"); err != nil || e.ID != "scenario-clustered" {
+		t.Errorf("sweep experiment = %+v, %v", e, err)
 	}
 }
 
