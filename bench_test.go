@@ -416,6 +416,63 @@ func BenchmarkScale10k(b *testing.B) {
 	b.ReportMetric(rep.AvgDelay, "pas-delay-s")
 }
 
+// BenchmarkNetworkConstruction times building (not running) a 1000-node
+// network: kernel, medium, slab-allocated nodes/endpoints/agents and the
+// adopted precompiled topology. The fixed seed lets the deployment and
+// topology memoization engage after the first iteration, so the number
+// tracks the wiring cost the CSR/slab overhaul targets, separately from
+// steady-state simulation.
+func BenchmarkNetworkConstruction(b *testing.B) {
+	sp, ok := pas.LookupScenario("scale-1k")
+	if !ok {
+		b.Fatal("scale-1k missing from the registry")
+	}
+	cfg, err := pas.RunConfigFromScenario(sp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Protocol = pas.ProtoPAS
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, _, err := experiment.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(nw.Nodes) != 1000 {
+			b.Fatalf("built %d nodes", len(nw.Nodes))
+		}
+	}
+}
+
+// BenchmarkScale10kColdStart is BenchmarkScale10k without the memoized
+// deployment/topology: every iteration uses a fresh seed, so the grid draw,
+// the CSR compilation and the stimulus build all run cold. The gap between
+// this and BenchmarkScale10k is what the experiment-level memoization saves
+// per cell.
+func BenchmarkScale10kColdStart(b *testing.B) {
+	sp, ok := pas.LookupScenario("scale-10k")
+	if !ok {
+		b.Fatal("scale-10k missing from the registry")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, err := pas.RunConfigFromScenario(sp, int64(100+i)) // unique seed → no cache reuse
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Protocol = pas.ProtoPAS
+		rep, err := pas.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Detected != 10000 {
+			b.Fatalf("detected %d/10000", rep.Detected)
+		}
+	}
+}
+
 func BenchmarkSASSingleRun(b *testing.B) {
 	sc := pas.PaperScenario()
 	b.ResetTimer()

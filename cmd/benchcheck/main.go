@@ -8,10 +8,16 @@
 // blocking merges; -strict turns warnings into a non-zero exit for local
 // gating.
 //
+// -json replaces the human-readable warnings with a machine-readable row
+// per benchmark (baseline, current, delta %, status), so CI artifacts can be
+// diffed across PRs without parsing log text. Exit-code semantics are
+// unchanged.
+//
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem -benchtime=1s . | go run ./cmd/benchcheck -baseline BENCH_1.json
-//	go run ./cmd/benchcheck -baseline BENCH_1.json -threshold 0.2 bench.txt
+//	go test -run '^$' -bench . -benchmem -benchtime=1s . | go run ./cmd/benchcheck -baseline BENCH_2.json
+//	go run ./cmd/benchcheck -baseline BENCH_2.json -threshold 0.2 bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_2.json -json bench.txt > rows.json
 package main
 
 import (
@@ -96,16 +102,24 @@ func parseBenchOutput(r io.Reader) (map[string]result, error) {
 	return out, sc.Err()
 }
 
+// classify applies the regression rules of one benchmark: ns/op or allocs/op
+// exceeding the baseline by more than threshold (fractional, e.g. 0.2 =
+// 20%). The multiplicative threshold keeps zero-alloc baselines exact — any
+// allocation at all regresses — while tolerating the small allocs/op jitter
+// of benchmarks whose per-iteration work varies with the seed. Both output
+// modes (text warnings and -json rows) derive from this single rule set.
+func classify(base BaselineEntry, cur result, threshold float64) (nsRegressed, allocsRegressed bool) {
+	nsRegressed = base.NsPerOp > 0 && cur.nsPerOp > base.NsPerOp*(1+threshold)
+	allocsRegressed = cur.hasAllocs && cur.allocsPerOp > base.AllocsPerOp*(1+threshold)
+	return nsRegressed, allocsRegressed
+}
+
 // compare returns one warning line per regression of current against
-// baseline. A benchmark regresses when its ns/op or allocs/op exceed the
-// baseline by more than threshold (fractional, e.g. 0.2 = 20%). The
-// multiplicative threshold keeps zero-alloc baselines exact — any allocation
-// at all warns — while tolerating the small allocs/op jitter of benchmarks
-// whose per-iteration work varies with the seed. Mismatched name sets are
-// reported in both directions: a baselined benchmark missing from the
-// current output must not hide a regression, and a current benchmark absent
-// from the baseline (renamed, or added without regenerating BENCH_1.json)
-// must not silently escape the check.
+// baseline (the rules live in classify). Mismatched name sets are reported
+// in both directions: a baselined benchmark missing from the current output
+// must not hide a regression, and a current benchmark absent from the
+// baseline (renamed, or added without regenerating the baseline JSON) must
+// not silently escape the check.
 func compare(baseline Baseline, current map[string]result, threshold float64) []string {
 	var warnings []string
 	names := make([]string, 0, len(baseline.Benchmarks))
@@ -120,11 +134,12 @@ func compare(baseline Baseline, current map[string]result, threshold float64) []
 			warnings = append(warnings, fmt.Sprintf("%s: missing from current benchmark output", name))
 			continue
 		}
-		if base.NsPerOp > 0 && cur.nsPerOp > base.NsPerOp*(1+threshold) {
+		nsRegressed, allocsRegressed := classify(base, cur, threshold)
+		if nsRegressed {
 			warnings = append(warnings, fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (+%.0f%%, threshold %.0f%%)",
 				name, cur.nsPerOp, base.NsPerOp, 100*(cur.nsPerOp/base.NsPerOp-1), 100*threshold))
 		}
-		if cur.hasAllocs && cur.allocsPerOp > base.AllocsPerOp*(1+threshold) {
+		if allocsRegressed {
 			warnings = append(warnings, fmt.Sprintf("%s: %.4g allocs/op vs baseline %.4g — per-op garbage reintroduced",
 				name, cur.allocsPerOp, base.AllocsPerOp))
 		}
@@ -144,14 +159,92 @@ func compare(baseline Baseline, current map[string]result, threshold float64) []
 	return warnings
 }
 
+// Row is one benchmark's comparison in the -json output. Deltas are
+// percentages relative to the baseline (+25 = 25% slower); a delta against a
+// zero baseline is reported as 0 — the absolute columns and the status carry
+// the signal there (any allocation against a zero-alloc baseline is
+// "regressed").
+type Row struct {
+	Benchmark           string  `json:"benchmark"`
+	Status              string  `json:"status"` // ok | regressed | missing-from-current | missing-from-baseline
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op"`
+	CurrentNsPerOp      float64 `json:"current_ns_per_op"`
+	NsDeltaPct          float64 `json:"ns_delta_pct"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op"`
+	CurrentAllocsPerOp  float64 `json:"current_allocs_per_op"`
+	AllocsDeltaPct      float64 `json:"allocs_delta_pct"`
+}
+
+// deltaPct returns the percentage change of cur against base, 0 when the
+// baseline is zero (the caller reports those through the status instead).
+func deltaPct(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (cur/base - 1)
+}
+
+// buildRows renders the comparison as one machine-readable row per
+// benchmark, in deterministic name order, applying the same regression rules
+// as compare.
+func buildRows(baseline Baseline, current map[string]result, threshold float64) []Row {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]Row, 0, len(names))
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		row := Row{
+			Benchmark:           name,
+			BaselineNsPerOp:     base.NsPerOp,
+			BaselineAllocsPerOp: base.AllocsPerOp,
+		}
+		cur, ok := current[name]
+		if !ok {
+			row.Status = "missing-from-current"
+			rows = append(rows, row)
+			continue
+		}
+		row.CurrentNsPerOp = cur.nsPerOp
+		row.CurrentAllocsPerOp = cur.allocsPerOp
+		row.NsDeltaPct = deltaPct(base.NsPerOp, cur.nsPerOp)
+		row.AllocsDeltaPct = deltaPct(base.AllocsPerOp, cur.allocsPerOp)
+		row.Status = "ok"
+		if nsRegressed, allocsRegressed := classify(base, cur, threshold); nsRegressed || allocsRegressed {
+			row.Status = "regressed"
+		}
+		rows = append(rows, row)
+	}
+	extras := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		cur := current[name]
+		rows = append(rows, Row{
+			Benchmark:          name,
+			Status:             "missing-from-baseline",
+			CurrentNsPerOp:     cur.nsPerOp,
+			CurrentAllocsPerOp: cur.allocsPerOp,
+		})
+	}
+	return rows
+}
+
 // run executes one invocation and returns the process exit code.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_1.json", "baseline JSON file")
+		baselinePath = fs.String("baseline", "BENCH_2.json", "baseline JSON file")
 		threshold    = fs.Float64("threshold", 0.20, "fractional ns/op regression tolerance")
 		strict       = fs.Bool("strict", false, "exit non-zero when regressions are found")
+		jsonOut      = fs.Bool("json", false, "emit the comparison as machine-readable JSON rows")
 	)
 	err := fs.Parse(args)
 	if errors.Is(err, flag.ErrHelp) {
@@ -189,14 +282,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	warnings := compare(baseline, current, *threshold)
-	for _, w := range warnings {
-		// ::warning:: renders as an annotation on GitHub Actions and is
-		// harmless plain text everywhere else.
-		fmt.Fprintf(stdout, "::warning::benchcheck: %s\n", w)
-	}
-	if len(warnings) == 0 {
-		fmt.Fprintf(stdout, "benchcheck: %d benchmarks within %.0f%% of %s\n",
-			len(baseline.Benchmarks), 100**threshold, *baselinePath)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(buildRows(baseline, current, *threshold)); err != nil {
+			fmt.Fprintf(stderr, "benchcheck: encoding rows: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, w := range warnings {
+			// ::warning:: renders as an annotation on GitHub Actions and is
+			// harmless plain text everywhere else.
+			fmt.Fprintf(stdout, "::warning::benchcheck: %s\n", w)
+		}
+		if len(warnings) == 0 {
+			fmt.Fprintf(stdout, "benchcheck: %d benchmarks within %.0f%% of %s\n",
+				len(baseline.Benchmarks), 100**threshold, *baselinePath)
+		}
 	}
 	if *strict && len(warnings) > 0 {
 		return 1

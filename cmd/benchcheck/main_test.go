@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -173,6 +174,89 @@ func TestRunMissingBaselineFile(t *testing.T) {
 		strings.NewReader(sampleOutput), &stdout, &stderr)
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestBuildRows(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 27.28, allocsPerOp: 0, hasAllocs: true}, // 2× ns → regressed
+		"BenchmarkRenamedKernel":         {nsPerOp: 1.0, hasAllocs: true},
+		// BenchmarkPASSingleRun absent → missing-from-current
+	}
+	rows := buildRows(baselineFixture(), current, 0.20)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	// Baseline names first in sorted order, extras last.
+	kernel, pas, renamed := rows[0], rows[1], rows[2]
+	if kernel.Benchmark != "BenchmarkKernelEventThroughput" || kernel.Status != "regressed" {
+		t.Errorf("kernel row = %+v", kernel)
+	}
+	if kernel.NsDeltaPct < 99 || kernel.NsDeltaPct > 101 {
+		t.Errorf("kernel ns delta = %g, want ~100", kernel.NsDeltaPct)
+	}
+	if kernel.AllocsDeltaPct != 0 {
+		t.Errorf("zero-alloc baseline produced allocs delta %g, want 0", kernel.AllocsDeltaPct)
+	}
+	if pas.Benchmark != "BenchmarkPASSingleRun" || pas.Status != "missing-from-current" {
+		t.Errorf("pas row = %+v", pas)
+	}
+	if renamed.Benchmark != "BenchmarkRenamedKernel" || renamed.Status != "missing-from-baseline" {
+		t.Errorf("renamed row = %+v", renamed)
+	}
+}
+
+func TestBuildRowsCleanDeltas(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkKernelEventThroughput": {nsPerOp: 13.64, allocsPerOp: 0, hasAllocs: true},
+		"BenchmarkPASSingleRun":          {nsPerOp: 3533430, allocsPerOp: 20834, hasAllocs: true}, // 20% faster
+	}
+	rows := buildRows(baselineFixture(), current, 0.20)
+	for _, r := range rows {
+		if r.Status != "ok" {
+			t.Errorf("row %s status = %q, want ok", r.Benchmark, r.Status)
+		}
+	}
+	if d := rows[1].NsDeltaPct; d > -19 || d < -21 {
+		t.Errorf("improvement delta = %g, want ~-20", d)
+	}
+	if d := rows[1].AllocsDeltaPct; d != 0 {
+		t.Errorf("unchanged allocs delta = %g, want 0", d)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	regressed := strings.ReplaceAll(sampleOutput, "13.64 ns/op", "99.99 ns/op")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", writeBaselineFile(t), "-json"},
+		strings.NewReader(regressed), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d (json stays warn-only), stderr %q", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "::warning::") {
+		t.Errorf("json mode leaked text warnings: %q", stdout.String())
+	}
+	var rows []Row
+	if err := json.Unmarshal([]byte(stdout.String()), &rows); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	if r := byName["BenchmarkKernelEventThroughput"]; r.Status != "regressed" || r.CurrentNsPerOp != 99.99 {
+		t.Errorf("kernel row = %+v", r)
+	}
+	if r := byName["BenchmarkFig4Parallel"]; r.Status != "ok" {
+		t.Errorf("fig4 row = %+v", r)
+	}
+	// Strict mode still gates on the same regressions in json mode.
+	if code := run([]string{"-baseline", writeBaselineFile(t), "-json", "-strict"},
+		strings.NewReader(regressed), &strings.Builder{}, &strings.Builder{}); code != 1 {
+		t.Errorf("strict json exit code = %d, want 1", code)
 	}
 }
 

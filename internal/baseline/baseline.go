@@ -41,6 +41,8 @@ func (*NS) OnMessage(*node.Node, radio.NodeID, radio.Envelope) {}
 type DutyCycle struct {
 	Period float64
 	OnTime float64
+
+	n *node.Node // bound at Init for the closure-free sleep handler
 }
 
 var _ node.Agent = (*DutyCycle)(nil)
@@ -56,18 +58,24 @@ func NewDutyCycle(period, onTime float64) *DutyCycle {
 
 // Init implements node.Agent.
 func (d *DutyCycle) Init(n *node.Node) {
+	d.n = n
 	n.SetState(node.StateSafe)
 	d.scheduleSleep(n)
+}
+
+// dutySleep is the shared arg handler behind scheduleSleep; passing the
+// agent as the event argument keeps the periodic cycle allocation-free.
+func dutySleep(_ *sim.Kernel, arg any) {
+	d := arg.(*DutyCycle)
+	if d.n.IsAwake() && d.n.State() != node.StateCovered {
+		d.n.Sleep(d.Period - d.OnTime)
+	}
 }
 
 // scheduleSleep stays awake for OnTime, then sleeps out the period (unless
 // the node became covered meanwhile, in which case it keeps monitoring).
 func (d *DutyCycle) scheduleSleep(n *node.Node) {
-	n.Kernel().Schedule(d.OnTime, func(*sim.Kernel) {
-		if n.IsAwake() && n.State() != node.StateCovered {
-			n.Sleep(d.Period - d.OnTime)
-		}
-	})
+	n.Kernel().ScheduleArg(d.OnTime, dutySleep, d)
 }
 
 // OnWake implements node.Agent.

@@ -26,17 +26,18 @@ import (
 //	          stimulus leaves, a detection timeout returns it to safe.
 type Agent struct {
 	cfg      Config
+	n        *node.Node // bound at Init; the arg handlers below reach it here
 	reports  map[radio.NodeID]NeighborReport
 	scratch  []NeighborReport // reused snapshot buffer for the estimators
-	schedule *SleepSchedule
+	schedule SleepSchedule
 
 	velocity    geom.Vec2
 	hasVelocity bool
 	predicted   float64 // absolute predicted arrival at this node (+Inf unknown)
 
-	decision       *sim.Timer // end of a REQUEST's response window
-	reassess       *sim.Timer // alert-state periodic re-evaluation
-	coveredTimeout *sim.Timer // covered → safe after the stimulus leaves
+	decision       sim.Timer // end of a REQUEST's response window
+	reassess       sim.Timer // alert-state periodic re-evaluation
+	coveredTimeout sim.Timer // covered → safe after the stimulus leaves
 
 	detected   bool
 	detectedAt float64
@@ -51,11 +52,98 @@ func New(cfg Config) *Agent {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Agent{
+	a := &Agent{}
+	a.fill(cfg)
+	return a
+}
+
+// fill initializes an agent in place — shared by New and the slab factory.
+func (a *Agent) fill(cfg Config) {
+	*a = Agent{
 		cfg:       cfg,
 		reports:   make(map[radio.NodeID]NeighborReport),
-		schedule:  NewSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
+		schedule:  MakeSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
 		predicted: math.Inf(1),
+	}
+}
+
+// NewSlab returns a factory producing up to n agents carved from one
+// contiguous slab — the bulk-construction path of node.BuildNetwork, which
+// would otherwise pay one heap allocation per agent at 10k-node scale.
+// Agents past n (never requested in practice: deployments are fixed-size)
+// fall back to individual allocation. The config is validated once.
+func NewSlab(cfg Config, n int) func() *Agent {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	slab := make([]Agent, 0, n)
+	return func() *Agent {
+		if len(slab) == cap(slab) {
+			return New(cfg)
+		}
+		slab = slab[:len(slab)+1]
+		a := &slab[len(slab)-1]
+		a.fill(cfg)
+		return a
+	}
+}
+
+// Package-level arg handlers for the agent's timers and staggered sends.
+// Re-arming a timer with a long-lived handler and the agent as the argument
+// allocates nothing, where the previous per-arm closures made every probe,
+// reassessment and staggered response an allocation — the dominant
+// steady-state garbage at 10k nodes.
+func agentDecide(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	a.decide(a.n)
+}
+
+func agentReassess(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	if n.State() != node.StateAlert {
+		return
+	}
+	if n.Sense() {
+		return // detection takes over (OnDetect ran)
+	}
+	a.refreshEstimate(n, true)
+	if eta := a.currentETA(n); eta >= a.cfg.AlertThreshold {
+		a.enterSafe(n, true)
+		return
+	}
+	a.armReassess(n)
+}
+
+func agentVelocityWindow(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	v, ok := ActualVelocity(n.Pos(), a.detectedAt, a.reportSlice(), a.cfg.MinVelocityDt)
+	if ok {
+		a.velocity, a.hasVelocity = v, true
+	}
+	if a.cfg.Hook != nil && a.cfg.Hook.Velocity != nil {
+		a.cfg.Hook.Velocity(int(n.ID()), v.X, v.Y, ok)
+	}
+	a.sendResponse(n)
+}
+
+func agentCoveredTimeout(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	if n.State() != node.StateCovered || !n.IsAwake() {
+		return
+	}
+	if n.CoveredNow() {
+		return // stimulus came back during the timeout
+	}
+	a.enterSafe(n, true)
+}
+
+func agentStaggerSend(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	if a.n.IsAwake() {
+		a.sendResponse(a.n)
 	}
 }
 
@@ -70,9 +158,10 @@ func (a *Agent) Velocity() (geom.Vec2, bool) { return a.velocity, a.hasVelocity 
 // sleeping. (All sensors boot active; the first probe establishes whether
 // anything is already happening nearby.)
 func (a *Agent) Init(n *node.Node) {
-	a.decision = sim.NewTimer(n.Kernel())
-	a.reassess = sim.NewTimer(n.Kernel())
-	a.coveredTimeout = sim.NewTimer(n.Kernel())
+	a.n = n
+	a.decision.Bind(n.Kernel())
+	a.reassess.Bind(n.Kernel())
+	a.coveredTimeout.Bind(n.Kernel())
 	n.SetState(node.StateSafe)
 	a.probe(n)
 }
@@ -81,7 +170,7 @@ func (a *Agent) Init(n *node.Node) {
 // response window.
 func (a *Agent) probe(n *node.Node) {
 	n.Broadcast(Request{}.Envelope())
-	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) { a.decide(n) })
+	a.decision.ResetArg(a.cfg.ResponseWindow, agentDecide, a)
 }
 
 // decide evaluates the freshly gathered reports and commits to alert or
@@ -118,20 +207,7 @@ func (a *Agent) enterAlert(n *node.Node) {
 
 // armReassess schedules the periodic alert re-evaluation.
 func (a *Agent) armReassess(n *node.Node) {
-	a.reassess.Reset(a.cfg.AlertReassess, func(*sim.Kernel) {
-		if n.State() != node.StateAlert {
-			return
-		}
-		if n.Sense() {
-			return // detection takes over (OnDetect ran)
-		}
-		a.refreshEstimate(n, true)
-		if eta := a.currentETA(n); eta >= a.cfg.AlertThreshold {
-			a.enterSafe(n, true)
-			return
-		}
-		a.armReassess(n)
-	})
+	a.reassess.ResetArg(a.cfg.AlertReassess, agentReassess, a)
 }
 
 // enterSafe transitions to safe and sleeps. resetRamp restarts the linear
@@ -167,30 +243,13 @@ func (a *Agent) OnDetect(n *node.Node) {
 	a.decision.Stop()
 	n.SetState(node.StateCovered)
 	n.Broadcast(Request{}.Envelope())
-	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) {
-		v, ok := ActualVelocity(n.Pos(), a.detectedAt, a.reportSlice(), a.cfg.MinVelocityDt)
-		if ok {
-			a.velocity, a.hasVelocity = v, true
-		}
-		if a.cfg.Hook != nil && a.cfg.Hook.Velocity != nil {
-			a.cfg.Hook.Velocity(int(n.ID()), v.X, v.Y, ok)
-		}
-		a.sendResponse(n)
-	})
+	a.decision.ResetArg(a.cfg.ResponseWindow, agentVelocityWindow, a)
 }
 
 // OnStimulusGone implements node.Agent: covered → safe after the detection
 // timeout (paper Fig. 3).
 func (a *Agent) OnStimulusGone(n *node.Node) {
-	a.coveredTimeout.Reset(a.cfg.DetectionTimeout, func(*sim.Kernel) {
-		if n.State() != node.StateCovered || !n.IsAwake() {
-			return
-		}
-		if n.CoveredNow() {
-			return // stimulus came back during the timeout
-		}
-		a.enterSafe(n, true)
-	})
+	a.coveredTimeout.ResetArg(a.cfg.DetectionTimeout, agentCoveredTimeout, a)
 }
 
 // OnMessage implements node.Agent: value-dispatch on the envelope kind, with
@@ -226,11 +285,7 @@ func (a *Agent) handleRequest(n *node.Node) {
 		a.sendResponse(n)
 		return
 	}
-	n.Kernel().Schedule(stagger, func(*sim.Kernel) {
-		if n.IsAwake() {
-			a.sendResponse(n)
-		}
-	})
+	n.Kernel().ScheduleArg(stagger, agentStaggerSend, a)
 }
 
 // handleResponse folds a neighbour's report into the table and re-evaluates
@@ -341,6 +396,10 @@ func (a *Agent) sendResponse(n *node.Node) {
 // backing buffer is reused across calls — the estimators it feeds only read
 // the slice during the call, so this is allocation-free at steady state.
 func (a *Agent) reportSlice() []NeighborReport {
+	if cap(a.scratch) < len(a.reports) {
+		// One right-sized allocation instead of an append growth chain.
+		a.scratch = make([]NeighborReport, 0, len(a.reports))
+	}
 	out := a.scratch[:0]
 	for _, r := range a.reports {
 		out = append(out, r)

@@ -18,13 +18,21 @@ type SleepSchedule struct {
 
 // NewSleepSchedule validates and constructs a schedule.
 func NewSleepSchedule(init, increment, max float64) *SleepSchedule {
+	s := MakeSleepSchedule(init, increment, max)
+	return &s
+}
+
+// MakeSleepSchedule is the value-type constructor behind NewSleepSchedule,
+// for owners that embed the schedule instead of pointing at a heap-allocated
+// one.
+func MakeSleepSchedule(init, increment, max float64) SleepSchedule {
 	if init <= 0 || max <= 0 || increment < 0 {
 		panic(fmt.Sprintf("core: invalid sleep schedule init=%g inc=%g max=%g", init, increment, max))
 	}
 	if init > max {
 		init = max
 	}
-	return &SleepSchedule{Init: init, Increment: increment, Max: max}
+	return SleepSchedule{Init: init, Increment: increment, Max: max}
 }
 
 // Next returns the interval to sleep now and advances the schedule.

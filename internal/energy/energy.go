@@ -131,7 +131,16 @@ type Meter struct {
 // NewMeter returns a meter that starts in the given mode at virtual time
 // start.
 func NewMeter(p Profile, start float64, mode Mode) *Meter {
-	return &Meter{profile: p, mode: mode, since: start}
+	m := &Meter{}
+	m.Init(p, start, mode)
+	return m
+}
+
+// Init (re)initializes a meter in place — the value-type counterpart of
+// NewMeter, used by slab-allocated owners that embed meters instead of
+// pointing at individually heap-allocated ones.
+func (m *Meter) Init(p Profile, start float64, mode Mode) {
+	*m = Meter{profile: p, mode: mode, since: start}
 }
 
 // Profile returns the meter's hardware profile.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/geom"
+	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 )
@@ -81,4 +82,72 @@ func depCacheStats() (hits, misses uint64) {
 	depCache.mu.Lock()
 	defer depCache.mu.Unlock()
 	return depCache.hits, depCache.misses
+}
+
+// Topology memoization. The compiled CSR connectivity is a pure function of
+// (deployment positions, loss MaxRange), and deployments are already shared
+// one-per-key above — so keying on the deployment's identity is exact: the
+// same pointer means the same positions. Every cell of a sweep sharing
+// (seed, field, nodes, range, loss range) then reuses ONE compiled topology
+// instead of rebuilding the spatial hash and re-deriving every link distance
+// per protocol × seed. Topologies are immutable after compilation and safe
+// to share across the worker pool; the medium re-checks the cheap adoption
+// invariants (node count, range) and recompiles on mismatch, so a miskeyed
+// entry can cost time but never correctness.
+
+// topoKey identifies one compiled topology: the shared deployment instance
+// plus the radius it was compiled at.
+type topoKey struct {
+	dep      *deploy.Deployment
+	maxRange float64
+}
+
+// topoCacheLimit is far below depCacheLimit because topology entries are
+// heavy — a 10k-node CSR with its float64 edge distances runs to megabytes,
+// and each key also pins its deployment — while real sweeps only ever touch
+// a handful of distinct (deployment, range) pairs per seed set. At the limit
+// the cache resets, which only costs recompilation.
+const topoCacheLimit = 256
+
+var topoCache struct {
+	mu     sync.Mutex
+	m      map[topoKey]*radio.Topology
+	hits   uint64
+	misses uint64
+}
+
+// cachedTopology returns the shared compiled topology for the deployment at
+// maxRange, compiling it on first use. Callers must treat the result as
+// immutable — it is shared across concurrent simulation runs.
+func cachedTopology(dep *deploy.Deployment, maxRange float64) *radio.Topology {
+	key := topoKey{dep: dep, maxRange: maxRange}
+	topoCache.mu.Lock()
+	if t, ok := topoCache.m[key]; ok {
+		topoCache.hits++
+		topoCache.mu.Unlock()
+		return t
+	}
+	topoCache.misses++
+	topoCache.mu.Unlock()
+
+	// Compile outside the lock: a 10k-node compilation walks every bucket of
+	// the spatial hash, and concurrent workers should not serialize on it.
+	// Two workers racing on the same key compile identical topologies; the
+	// second store wins harmlessly.
+	t := radio.CompileTopology(dep.Field, dep.Positions, maxRange)
+
+	topoCache.mu.Lock()
+	if topoCache.m == nil || len(topoCache.m) >= topoCacheLimit {
+		topoCache.m = make(map[topoKey]*radio.Topology)
+	}
+	topoCache.m[key] = t
+	topoCache.mu.Unlock()
+	return t
+}
+
+// topoCacheStats returns the cumulative hit/miss counters (for tests).
+func topoCacheStats() (hits, misses uint64) {
+	topoCache.mu.Lock()
+	defer topoCache.mu.Unlock()
+	return topoCache.hits, topoCache.misses
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/geom"
+	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 )
@@ -72,8 +73,10 @@ func TestDeploymentCacheConcurrentAccess(t *testing.T) {
 
 func TestDeploymentCacheHitsAcrossProtocols(t *testing.T) {
 	// Two protocols at the same (seed, field, nodes, range) — the shape of
-	// every sweep — must share one deployment draw.
+	// every sweep — must share one deployment draw, and one compiled
+	// topology alongside it.
 	h0, m0 := depCacheStats()
+	th0, tm0 := topoCacheStats()
 	for _, proto := range []string{ProtoPAS, ProtoSAS, ProtoNS} {
 		rc := RunConfig{Protocol: proto, Seed: 31337}
 		if _, err := RunOnce(rc); err != nil {
@@ -81,10 +84,50 @@ func TestDeploymentCacheHitsAcrossProtocols(t *testing.T) {
 		}
 	}
 	h1, m1 := depCacheStats()
+	th1, tm1 := topoCacheStats()
 	if gotMisses := m1 - m0; gotMisses > 1 {
 		t.Errorf("3 protocols at one seed caused %d cache misses, want ≤ 1", gotMisses)
 	}
 	if gotHits := h1 - h0; gotHits < 2 {
 		t.Errorf("3 protocols at one seed caused %d cache hits, want ≥ 2", gotHits)
+	}
+	if gotMisses := tm1 - tm0; gotMisses > 1 {
+		t.Errorf("3 protocols at one seed compiled the topology %d times, want ≤ 1", gotMisses)
+	}
+	if gotHits := th1 - th0; gotHits < 2 {
+		t.Errorf("3 protocols at one seed caused %d topology cache hits, want ≥ 2", gotHits)
+	}
+}
+
+func TestTopologyCacheSharesPerRange(t *testing.T) {
+	field := geom.R(0, 0, 30, 30)
+	dep := cachedDeployment(9001, field, 30, 10, scenario.DeploymentSpec{}, 2000)
+	a := cachedTopology(dep, 10)
+	if b := cachedTopology(dep, 10); b != a {
+		t.Error("identical (deployment, range) returned distinct topologies")
+	}
+	if c := cachedTopology(dep, 12); c == a {
+		t.Error("different ranges shared a topology")
+	}
+	if a.NodeCount() != dep.N() {
+		t.Errorf("topology over %d nodes, deployment has %d", a.NodeCount(), dep.N())
+	}
+	// The memoized topology must equal a direct compile row-for-row.
+	direct := radio.CompileTopology(dep.Field, dep.Positions, 10)
+	if direct.Edges() != a.Edges() {
+		t.Fatalf("cached topology has %d edges, direct compile %d", a.Edges(), direct.Edges())
+	}
+	for i := 0; i < dep.N(); i++ {
+		gotRow, gotDist := a.Row(i)
+		wantRow, wantDist := direct.Row(i)
+		if len(gotRow) != len(wantRow) {
+			t.Fatalf("row %d: cached %v, direct %v", i, gotRow, wantRow)
+		}
+		for k := range gotRow {
+			if gotRow[k] != wantRow[k] || gotDist[k] != wantDist[k] {
+				t.Fatalf("row %d edge %d: cached (%d, %v), direct (%d, %v)",
+					i, k, gotRow[k], gotDist[k], wantRow[k], wantDist[k])
+			}
+		}
 	}
 }

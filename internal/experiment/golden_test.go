@@ -16,10 +16,13 @@ import (
 // review the diff — these files are the repo's determinism contract.
 var update = flag.Bool("update", false, "rewrite the golden trace snapshots under testdata/golden")
 
-// goldenExperiments are the snapshot-pinned experiments: a paper figure plus
+// goldenExperiments are the snapshot-pinned experiments: a paper figure,
 // two structurally different extensions (ext-plume shares one PDE scenario
-// across workers; ext-lifetime aggregates a censored lifetime metric).
-var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime"}
+// across workers; ext-lifetime aggregates a censored lifetime metric), and
+// the lossy+collisions+CSMA channel so every consumer of channel randomness
+// — per-link loss draws, collision windows, CSMA backoffs — is trace-pinned
+// against the frozen CSR candidate rows.
+var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime", "ext-lossy-csma"}
 
 // goldenOptions is the fixed configuration every snapshot is generated and
 // checked with (Quick sweep, 3 seeds); parallelism is set per run.

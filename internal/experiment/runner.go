@@ -95,14 +95,16 @@ func (rc RunConfig) Defaults() RunConfig {
 }
 
 // agents returns the per-node agent factory for the configured protocol.
+// The PAS/SAS factories carve agents from one slab sized to the deployment,
+// so a 10k-node network costs one agent allocation instead of 10k.
 func (rc RunConfig) agents() (func(radio.NodeID) node.Agent, error) {
 	switch rc.Protocol {
 	case ProtoPAS:
-		cfg := rc.PAS
-		return func(radio.NodeID) node.Agent { return core.New(cfg) }, nil
+		slab := core.NewSlab(rc.PAS, rc.Nodes)
+		return func(radio.NodeID) node.Agent { return slab() }, nil
 	case ProtoSAS:
-		cfg := rc.SAS
-		return func(radio.NodeID) node.Agent { return sas.New(cfg) }, nil
+		slab := sas.NewSlab(rc.SAS, rc.Nodes)
+		return func(radio.NodeID) node.Agent { return slab() }, nil
 	case ProtoNS:
 		return func(radio.NodeID) node.Agent { return baseline.NewNS() }, nil
 	case ProtoDuty:
@@ -131,6 +133,11 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 	if loss == nil {
 		loss = radio.UnitDisk{Range: rc.Range}
 	}
+	// The CSR connectivity is memoized alongside the deployment: every cell
+	// sharing (deployment, loss range) hands the medium one precompiled
+	// topology instead of re-freezing it per protocol × seed (see
+	// depcache.go).
+	topo := cachedTopology(dep, loss.MaxRange())
 	nw := node.BuildNetwork(node.NetworkConfig{
 		Deployment:    dep,
 		Stimulus:      rc.Scenario.Stimulus,
@@ -140,6 +147,7 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 		ChannelStream: src.Stream("channel"),
 		Collisions:    rc.Collisions,
 		CSMA:          rc.CSMA,
+		Topology:      topo,
 	})
 	if rc.BatteryJ > 0 {
 		for _, n := range nw.Nodes {

@@ -1,0 +1,56 @@
+package geom
+
+import "fmt"
+
+// CSR is a compressed-sparse-row adjacency over an indexed point set: row i
+// holds the indices of every point within a fixed radius of point i (the
+// point itself excluded), in ascending index order. It is the frozen form of
+// a SpatialHash — deployments in this simulator are static, so the neighbour
+// set of every node is fixed for the lifetime of a run and worth compiling
+// exactly once into two flat arrays that a hot path can walk without bucket
+// scans, distance checks or sorting.
+type CSR struct {
+	// Offsets has one entry per point plus a terminator: row i spans
+	// Items[Offsets[i]:Offsets[i+1]].
+	Offsets []int32
+	// Items is the concatenated neighbour arena.
+	Items []int32
+}
+
+// Len returns the number of rows (indexed points).
+func (c CSR) Len() int { return len(c.Offsets) - 1 }
+
+// Row returns the neighbour indices of point i, ascending, self excluded.
+// The slice aliases the arena and must not be mutated.
+func (c CSR) Row(i int) []int32 { return c.Items[c.Offsets[i]:c.Offsets[i+1]] }
+
+// CompileCSR freezes the hash's neighbourhood structure at radius r: row i
+// receives exactly the indices NearAppend(i's position, r) would return,
+// minus i itself — the same inclusive dist² ≤ r² membership rule, the same
+// ascending order — so a caller that switches from per-query scans to row
+// walks observes identical candidate sets. Compiling a hash with more than
+// MaxInt32 points panics (the arena is int32-indexed).
+func (h *SpatialHash) CompileCSR(r float64) CSR {
+	n := len(h.points)
+	if int64(n) > int64(maxInt32) {
+		panic(fmt.Sprintf("geom: CompileCSR over %d points exceeds int32 indexing", n))
+	}
+	csr := CSR{Offsets: make([]int32, n+1)}
+	var scratch []int
+	for i, p := range h.points {
+		scratch = h.NearAppend(scratch[:0], p, r)
+		for _, idx := range scratch {
+			if idx == i {
+				continue
+			}
+			csr.Items = append(csr.Items, int32(idx))
+		}
+		if int64(len(csr.Items)) > int64(maxInt32) {
+			panic("geom: CompileCSR edge count exceeds int32 indexing")
+		}
+		csr.Offsets[i+1] = int32(len(csr.Items))
+	}
+	return csr
+}
+
+const maxInt32 = 1<<31 - 1

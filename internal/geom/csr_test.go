@@ -1,0 +1,74 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteNeighbors recomputes row i the O(n²) way with the same inclusive
+// dist² ≤ r² membership rule CompileCSR promises.
+func bruteNeighbors(points []Vec2, i int, r float64) []int32 {
+	var out []int32
+	r2 := r * r
+	for j, q := range points {
+		if j == i {
+			continue
+		}
+		if points[i].Dist2(q) <= r2 {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+// TestCompileCSRMatchesBruteForce is the frozen-topology correctness
+// property: on random layouts, every CSR row must equal a brute-force
+// all-pairs recompute — same members, same ascending order.
+func TestCompileCSRMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(120)
+		r := 2 + 18*rng.Float64()
+		bounds := R(0, 0, 50, 40)
+		points := make([]Vec2, n)
+		for i := range points {
+			points[i] = V(50*rng.Float64(), 40*rng.Float64())
+		}
+		// Duplicate some positions: co-located nodes must still exclude only
+		// themselves, not their twins.
+		if n > 4 {
+			points[1] = points[0]
+			points[3] = points[2]
+		}
+		hash := NewSpatialHash(bounds.Expand(r), r, points)
+		csr := hash.CompileCSR(r)
+		if csr.Len() != n {
+			t.Fatalf("trial %d: CSR has %d rows, want %d", trial, csr.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			got := csr.Row(i)
+			want := bruteNeighbors(points, i, r)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d row %d: got %v, want %v", trial, i, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d row %d: got %v, want %v", trial, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileCSREmptyAndSingle(t *testing.T) {
+	bounds := R(0, 0, 10, 10)
+	empty := NewSpatialHash(bounds, 5, nil)
+	if c := empty.CompileCSR(5); c.Len() != 0 || len(c.Items) != 0 {
+		t.Errorf("empty hash compiled to %d rows, %d items", c.Len(), len(c.Items))
+	}
+	single := NewSpatialHash(bounds, 5, []Vec2{V(5, 5)})
+	c := single.CompileCSR(5)
+	if c.Len() != 1 || len(c.Row(0)) != 0 {
+		t.Errorf("single point compiled to %d rows, row0=%v", c.Len(), c.Row(0))
+	}
+}

@@ -30,6 +30,13 @@ type NetworkConfig struct {
 	// CSMA, when non-nil, enables carrier-sense multiple access with the
 	// given backoff parameters.
 	CSMA *radio.CSMAConfig
+	// Topology, when non-nil, is a connectivity graph precompiled with
+	// radio.CompileTopology over exactly Deployment.Positions at the loss
+	// model's MaxRange; the medium adopts it instead of compiling its own,
+	// so runs sharing one deployment share one compilation (the experiment
+	// harness memoizes these). The medium re-checks node count and range at
+	// freeze time and recompiles on mismatch.
+	Topology *radio.Topology
 }
 
 // Network is a wired, runnable sensor field.
@@ -59,10 +66,19 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	if cfg.CSMA != nil {
 		medium.EnableCSMA(*cfg.CSMA)
 	}
+	medium.Reserve(cfg.Deployment.N())
+	if cfg.Topology != nil {
+		medium.SetTopology(cfg.Topology)
+	}
+	// Nodes come from one slab (and register into the medium's reserved
+	// endpoint slab), so constructing a 10k-node network costs O(1)
+	// allocations here rather than O(n).
 	nodes := make([]*Node, cfg.Deployment.N())
+	slab := make([]Node, cfg.Deployment.N())
 	for i, pos := range cfg.Deployment.Positions {
 		id := radio.NodeID(i)
-		nodes[i] = New(Config{
+		n := &slab[i]
+		n.init(Config{
 			ID:       id,
 			Pos:      pos,
 			Kernel:   k,
@@ -71,6 +87,7 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 			Profile:  cfg.Profile,
 			Agent:    cfg.Agents(id),
 		})
+		nodes[i] = n
 	}
 	return &Network{Kernel: k, Medium: medium, Nodes: nodes}
 }

@@ -74,14 +74,16 @@ type Departer interface {
 	DepartureTime(p geom.Vec2) float64
 }
 
-// Node is one simulated sensor mote.
+// Node is one simulated sensor mote. Nodes embed their meter and timers by
+// value and schedule their callbacks as package-level arg handlers, so
+// BuildNetwork can slab-allocate thousands of them with O(1) allocations.
 type Node struct {
 	id     radio.NodeID
 	pos    geom.Vec2
 	kernel *sim.Kernel
 	medium *radio.Medium
 	stim   diffusion.Stimulus
-	meter  *energy.Meter
+	meter  energy.Meter
 	agent  Agent
 
 	state      State
@@ -91,8 +93,7 @@ type Node struct {
 	detectedAt float64
 	arrival    float64 // ground-truth arrival time (possibly +Inf)
 
-	wake      *sim.Timer
-	wakeFn    sim.Handler // cached wake callback, reused across sleeps
+	wake      sim.Timer
 	txCount   int
 	rxCount   int
 	stateTime [3]float64 // residency per state
@@ -100,11 +101,10 @@ type Node struct {
 
 	// Battery, when positive, is the energy budget in joules; the node dies
 	// the moment its meter would exceed it.
-	battery    float64
-	deathTimer *sim.Timer
-	deathFn    sim.Handler // cached exhaustion callback
-	diedAt     float64
-	dead       bool // exhausted battery (distinct from injected failure)
+	battery float64
+	death   sim.Timer
+	diedAt  float64
+	dead    bool // exhausted battery (distinct from injected failure)
 
 	// Observer hooks (optional; set by metrics/trace collectors).
 	onStateChange func(n *Node, old, new State)
@@ -122,14 +122,31 @@ type Config struct {
 	Agent    Agent
 }
 
+// Package-level arg handlers for node callbacks: scheduling them with the
+// node as the event argument (a pointer, which boxes without allocating)
+// keeps node construction and sleep/wake churn free of closure allocations.
+func nodeWake(_ *sim.Kernel, arg any)  { arg.(*Node).wakeUp() }
+func nodeSense(_ *sim.Kernel, arg any) { arg.(*Node).senseNow() }
+func nodeGone(_ *sim.Kernel, arg any)  { arg.(*Node).stimulusGone() }
+func nodeDie(_ *sim.Kernel, arg any)   { arg.(*Node).dieOfBattery() }
+func nodeFail(_ *sim.Kernel, arg any)  { arg.(*Node).Fail() }
+
 // New creates a node, registers it on the medium and schedules its sensing
 // events. The node starts awake in the safe state (all sensors boot active;
 // the agent decides in Init whether to sleep).
 func New(cfg Config) *Node {
+	n := new(Node)
+	n.init(cfg)
+	return n
+}
+
+// init wires a node in place — the slab-construction entry point used by
+// BuildNetwork (New wraps it for hand-built nodes).
+func (n *Node) init(cfg Config) {
 	if cfg.Kernel == nil || cfg.Medium == nil || cfg.Stimulus == nil || cfg.Agent == nil {
 		panic("node: incomplete config")
 	}
-	n := &Node{
+	*n = Node{
 		id:        cfg.ID,
 		pos:       cfg.Pos,
 		kernel:    cfg.Kernel,
@@ -141,22 +158,21 @@ func New(cfg Config) *Node {
 		arrival:   cfg.Stimulus.ArrivalTime(cfg.Pos),
 		lastState: cfg.Kernel.Now(),
 	}
-	n.meter = energy.NewMeter(cfg.Profile, cfg.Kernel.Now(), energy.ModeActive)
-	n.wake = sim.NewTimer(cfg.Kernel)
-	n.wakeFn = func(*sim.Kernel) { n.wakeUp() }
-	cfg.Medium.AddNode(cfg.ID, cfg.Pos, n, n.meter)
+	n.meter.Init(cfg.Profile, cfg.Kernel.Now(), energy.ModeActive)
+	n.wake.Bind(cfg.Kernel)
+	n.death.Bind(cfg.Kernel)
+	cfg.Medium.AddNode(cfg.ID, cfg.Pos, n, &n.meter)
 
 	// Ground-truth arrival: an awake sensor detects at this exact instant.
 	if !math.IsInf(n.arrival, 1) && n.arrival >= cfg.Kernel.Now() {
-		cfg.Kernel.ScheduleAt(n.arrival, func(*sim.Kernel) { n.senseNow() })
+		cfg.Kernel.ScheduleArgAt(n.arrival, nodeSense, n)
 	}
 	// Receding stimuli: schedule the departure check.
 	if dep, ok := cfg.Stimulus.(Departer); ok {
 		if d := dep.DepartureTime(cfg.Pos); !math.IsInf(d, 1) && d >= cfg.Kernel.Now() {
-			cfg.Kernel.ScheduleAt(d, func(*sim.Kernel) { n.stimulusGone() })
+			cfg.Kernel.ScheduleArgAt(d, nodeGone, n)
 		}
 	}
-	return n
 }
 
 // Start invokes the agent's Init. Call after all nodes exist so that initial
@@ -178,7 +194,7 @@ func (n *Node) Now() float64 { return n.kernel.Now() }
 func (n *Node) Kernel() *sim.Kernel { return n.kernel }
 
 // Meter returns the node's energy meter.
-func (n *Node) Meter() *energy.Meter { return n.meter }
+func (n *Node) Meter() *energy.Meter { return &n.meter }
 
 // TrueArrival returns the ground-truth stimulus arrival time at this node
 // (+Inf if never). Metrics use it; protocol agents must not (they only see
@@ -233,7 +249,7 @@ func (n *Node) Sleep(d float64) {
 	n.awake = false
 	n.meter.SetMode(n.kernel.Now(), energy.ModeSleep)
 	n.rescheduleDeath()
-	n.wake.Reset(d, n.wakeFn)
+	n.wake.ResetArg(d, nodeWake, n)
 }
 
 // wakeUp transitions to awake and routes to the agent.
@@ -351,10 +367,6 @@ func (n *Node) RxCount() int { return n.rxCount }
 // disables the battery (infinite energy, the default).
 func (n *Node) SetBattery(joules float64) {
 	n.battery = joules
-	if n.deathTimer == nil {
-		n.deathTimer = sim.NewTimer(n.kernel)
-		n.deathFn = func(*sim.Kernel) { n.dieOfBattery() }
-	}
 	n.rescheduleDeath()
 }
 
@@ -365,7 +377,7 @@ func (n *Node) SetBattery(joules float64) {
 // next mode change corrects — acceptable because packet energies are ~µJ
 // against multi-joule budgets).
 func (n *Node) rescheduleDeath() {
-	if n.battery <= 0 || n.failed || n.deathTimer == nil {
+	if n.battery <= 0 || n.failed {
 		return
 	}
 	now := n.kernel.Now()
@@ -376,10 +388,10 @@ func (n *Node) rescheduleDeath() {
 	}
 	draw := n.meter.CurrentDrawW()
 	if draw <= 0 {
-		n.deathTimer.Stop()
+		n.death.Stop()
 		return
 	}
-	n.deathTimer.Reset(remaining/draw, n.deathFn)
+	n.death.ResetArg(remaining/draw, nodeDie, n)
 }
 
 // dieOfBattery marks exhaustion and kills the node.
@@ -406,9 +418,7 @@ func (n *Node) Fail() {
 	}
 	n.failed = true
 	n.wake.Stop()
-	if n.deathTimer != nil {
-		n.deathTimer.Stop()
-	}
+	n.death.Stop()
 	n.meter.Close(n.kernel.Now())
 }
 
@@ -417,7 +427,7 @@ func (n *Node) Failed() bool { return n.failed }
 
 // FailAt schedules the node to fail at virtual time at.
 func (n *Node) FailAt(at float64) {
-	n.kernel.ScheduleAt(at, func(*sim.Kernel) { n.Fail() })
+	n.kernel.ScheduleArgAt(at, nodeFail, n)
 }
 
 // --- observers ---

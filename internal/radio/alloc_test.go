@@ -120,3 +120,53 @@ func (e *echoSink) Deliver(from NodeID, env Envelope) {
 		e.m.Broadcast(1, Envelope{Kind: KindResponse, Wire: 62})
 	}
 }
+
+// replySink answers every REQUEST with a RESPONSE, unconditionally — the
+// steady-state shape of PAS model-exchange bursts, where a delivery handler
+// re-enters Broadcast while the outer fan-out's pooled record is live.
+type replySink struct {
+	m  *Medium
+	id NodeID
+}
+
+func (r *replySink) Listening() bool { return true }
+func (r *replySink) Deliver(_ NodeID, env Envelope) {
+	if env.Kind == KindRequest {
+		r.m.Broadcast(r.id, Envelope{Kind: KindResponse, Wire: 62})
+	}
+}
+
+// TestBroadcastDeliverZeroAllocsNestedRebroadcast pins the CSR-backed
+// broadcast→delivery cycle at 0 allocs/op including a nested rebroadcast:
+// the request fan-out walks one frozen row, each receiver's reply claims a
+// second pooled record mid-fan-out and walks its own row, and the whole
+// burst must recycle without allocating.
+func TestBroadcastDeliverZeroAllocsNestedRebroadcast(t *testing.T) {
+	k := sim.NewKernel()
+	st := rng.NewSource(1).Stream("channel")
+	m := NewMedium(k, geom.R(0, 0, 100, 100), energy.Telos(), UnitDisk{Range: 15}, st)
+	quiet := &countSink{listening: true}
+	m.AddNode(0, geom.V(50, 50), quiet, energy.NewMeter(energy.Telos(), 0, energy.ModeActive))
+	for i := 1; i <= 4; i++ {
+		r := &replySink{m: m, id: NodeID(i)}
+		m.AddNode(r.id, geom.V(50+float64(i), 50), r, energy.NewMeter(energy.Telos(), 0, energy.ModeActive))
+	}
+	req := Envelope{Kind: KindRequest, Wire: 12}
+	// Warm up: freeze the topology, grow the kernel arena and the delivery
+	// pool to the burst's working set.
+	for i := 0; i < 16; i++ {
+		m.Broadcast(0, req)
+		k.Run()
+	}
+	before := quiet.delivered
+	allocs := testing.AllocsPerRun(500, func() {
+		m.Broadcast(0, req)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("nested-rebroadcast cycle allocates %g allocs/op, want 0", allocs)
+	}
+	if quiet.delivered == before {
+		t.Fatal("no nested responses delivered — the cycle under test never ran")
+	}
+}

@@ -20,6 +20,22 @@
 // fan-out applies the delivery-time checks in the same receiver order, so
 // batching is observationally identical (the determinism tests and golden
 // traces pin this).
+//
+// # Frozen topology
+//
+// Deployments are static — no node ever moves — so on the first broadcast
+// after registration settles the medium freezes its connectivity into a CSR
+// Topology: per sender, the in-range receiver candidates (ascending ID,
+// self excluded) with their link distances precomputed. Broadcast then walks
+// a flat row instead of re-scanning spatial-hash buckets and re-deriving
+// distances on every transmission. Candidate membership and order follow the
+// exact rule the live hash query used, and the per-broadcast loss draws,
+// collision/CSMA bookkeeping and alive-at-delivery checks are untouched, so
+// the frozen path is byte-identical to the scanning one (golden traces pin
+// this). A precompiled Topology can also be injected with SetTopology so
+// runs sharing one deployment share one compilation. Invalidation rule:
+// AddNode after the freeze drops the compiled topology and the next
+// broadcast recompiles over the enlarged registry.
 package radio
 
 import (
@@ -151,6 +167,7 @@ type endpoint struct {
 	pos      geom.Vec2
 	receiver Receiver
 	meter    *energy.Meter
+	idx      int // dense index in ids/eps while a topology is compiled
 	// Collision bookkeeping. busyUntil is the end of the latest reception in
 	// flight; corruptUntil marks the window in which every reception has
 	// been destroyed by an overlap.
@@ -161,6 +178,14 @@ type endpoint struct {
 // Medium is the shared broadcast channel. It is bound to a simulation kernel
 // and delivers messages as scheduled events after the on-air transmission
 // time. Not safe for concurrent use (the kernel is single-goroutine).
+//
+// Registration is expected to settle before traffic starts: the first
+// broadcast (or NeighborIDs query) freezes the node set into a CSR Topology
+// that every subsequent broadcast walks. AddNode after the freeze is legal
+// but drops the compiled topology — the next broadcast recompiles it over
+// the enlarged registry (an injected SetTopology topology is re-adopted only
+// if it still matches the node count and range; otherwise the medium
+// compiles its own).
 type Medium struct {
 	kernel     *sim.Kernel
 	profile    energy.Profile
@@ -169,16 +194,18 @@ type Medium struct {
 	collisions bool
 
 	endpoints map[NodeID]*endpoint
-	hash      *geom.SpatialHash // rebuilt lazily after AddNode
+	slab      []endpoint // bulk endpoint storage (Reserve), never reallocated
 	positions []geom.Vec2
 	ids       []NodeID
 	eps       []*endpoint // dense endpoints aligned with ids/positions
 	bounds    geom.Rect
 	stats     Stats
 
+	topo   *Topology // frozen CSR connectivity; nil until first use or after AddNode
+	preset *Topology // injected precompiled topology (SetTopology), adopted at freeze
+
 	csma     *CSMAConfig
 	inFlight []flight // active transmissions, pruned lazily
-	near     []int    // scratch for spatial-hash queries, reused per broadcast
 
 	// Batched delivery: each broadcast schedules ONE kernel event whose arg
 	// is a pooled delivery record, instead of one closure per receiver.
@@ -262,22 +289,64 @@ func (m *Medium) channelBusyAt(pos geom.Vec2, now float64) bool {
 	return busy
 }
 
+// Reserve pre-sizes the registry for n upcoming AddNode calls: the endpoint
+// map is allocated at its final size and the per-node records come from one
+// slab, so bulk network construction performs O(1) allocations here instead
+// of O(n). Call before the first AddNode; reserving mid-registration only
+// covers the nodes that still fit the slab (the rest fall back to individual
+// allocations, which is correct, just slower).
+func (m *Medium) Reserve(n int) {
+	if len(m.endpoints) == 0 {
+		m.endpoints = make(map[NodeID]*endpoint, n)
+	}
+	if m.slab == nil {
+		m.slab = make([]endpoint, 0, n)
+	}
+}
+
+// SetTopology injects a precompiled connectivity graph, sparing the medium
+// its own compilation at freeze time. The caller promises the topology was
+// compiled with CompileTopology over exactly the positions of the nodes that
+// will be registered, in ascending-ID order, at the loss model's MaxRange —
+// the experiment harness guarantees this by compiling from the same memoized
+// deployment it registers nodes from. The medium re-checks the cheap
+// invariants (node count, range) at freeze and falls back to compiling its
+// own topology when they do not hold; the positions contract itself is NOT
+// verified (an O(n) check would defeat the sharing), so a preset compiled
+// over different positions that happens to match in count and range is
+// adopted and silently mis-routes every broadcast. Only inject topologies
+// compiled from the very position set being registered.
+func (m *Medium) SetTopology(t *Topology) {
+	m.preset = t
+	m.topo = nil
+}
+
 // AddNode registers a node at a fixed position. The meter may be nil for
 // unmetered observers. Adding a duplicate ID panics — deployments assign
-// unique dense IDs.
+// unique dense IDs. Adding a node after the topology froze (first broadcast)
+// invalidates it; the next broadcast recompiles over the enlarged registry.
 func (m *Medium) AddNode(id NodeID, pos geom.Vec2, r Receiver, meter *energy.Meter) {
 	if _, dup := m.endpoints[id]; dup {
 		panic(fmt.Sprintf("radio: duplicate node %d", id))
 	}
-	m.endpoints[id] = &endpoint{id: id, pos: pos, receiver: r, meter: meter}
-	m.hash = nil // invalidate the spatial index
+	var ep *endpoint
+	if len(m.slab) < cap(m.slab) {
+		m.slab = m.slab[:len(m.slab)+1]
+		ep = &m.slab[len(m.slab)-1]
+	} else {
+		ep = &endpoint{}
+	}
+	*ep = endpoint{id: id, pos: pos, receiver: r, meter: meter}
+	m.endpoints[id] = ep
+	m.topo = nil // invalidate the frozen topology
 }
 
-// rebuild refreshes the spatial index after registration changes. The
-// id/position/endpoint slices are reused across rebuilds so the steady state
-// (registration finished, simulation running) allocates only when the hash
-// itself is reconstructed.
-func (m *Medium) rebuild() {
+// freeze compiles the registered node set into the CSR topology the
+// broadcast path walks. The id/position/endpoint slices are reused across
+// freezes so re-freezing after a late AddNode allocates only what the
+// topology compilation itself needs. An injected preset (SetTopology) is
+// adopted instead of compiling when its node count and range still match.
+func (m *Medium) freeze() {
 	m.ids = m.ids[:0]
 	for id := range m.endpoints {
 		m.ids = append(m.ids, id)
@@ -285,16 +354,26 @@ func (m *Medium) rebuild() {
 	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
 	m.positions = m.positions[:0]
 	m.eps = m.eps[:0]
-	for _, id := range m.ids {
+	for i, id := range m.ids {
 		ep := m.endpoints[id]
+		ep.idx = i
 		m.positions = append(m.positions, ep.pos)
 		m.eps = append(m.eps, ep)
 	}
-	cell := m.loss.MaxRange()
-	if cell <= 0 {
-		cell = 1
+	if m.preset != nil && m.preset.n == len(m.ids) && m.preset.maxRange == m.loss.MaxRange() {
+		m.topo = m.preset
+		return
 	}
-	m.hash = geom.NewSpatialHash(m.bounds.Expand(cell), cell, m.positions)
+	m.topo = CompileTopology(m.bounds, m.positions, m.loss.MaxRange())
+}
+
+// Topology returns the frozen connectivity, compiling it if registration
+// changed since the last freeze.
+func (m *Medium) Topology() *Topology {
+	if m.topo == nil {
+		m.freeze()
+	}
+	return m.topo
 }
 
 // NeighborIDs returns the IDs of all registered nodes within the loss
@@ -306,14 +385,13 @@ func (m *Medium) NeighborIDs(id NodeID) []NodeID {
 	if !ok {
 		return nil
 	}
-	if m.hash == nil {
-		m.rebuild()
+	if m.topo == nil {
+		m.freeze()
 	}
+	row, _ := m.topo.Row(ep.idx)
 	var out []NodeID
-	for _, i := range m.hash.Near(ep.pos, m.loss.MaxRange()) {
-		if nid := m.ids[i]; nid != id {
-			out = append(out, nid)
-		}
+	for _, j := range row {
+		out = append(out, m.ids[j])
 	}
 	return out
 }
@@ -352,13 +430,18 @@ func (m *Medium) freeDelivery(d *delivery) {
 // receive energy) run inside the record's single scheduled event, in the
 // same receiver order the per-receiver events used to execute in — so the
 // batching is observationally identical but allocation-free.
+//
+// The candidate set is a row of the frozen CSR topology: the same in-range
+// receivers, in the same ascending order, with the same precomputed
+// distances a live spatial-hash query would derive — only the O(buckets)
+// window scan, the distance recomputation and the candidate sort are gone.
 func (m *Medium) Broadcast(from NodeID, env Envelope) {
 	sender, ok := m.endpoints[from]
 	if !ok {
 		panic(fmt.Sprintf("radio: broadcast from unregistered node %d", from))
 	}
-	if m.hash == nil {
-		m.rebuild()
+	if m.topo == nil {
+		m.freeze()
 	}
 	if m.csma != nil && m.channelBusyAt(sender.pos, m.kernel.Now()) {
 		m.deferBroadcast(from, env, 1)
@@ -382,19 +465,15 @@ func (m *Medium) Broadcast(from NodeID, env Envelope) {
 	d.txTime = txTime
 	d.end = end
 
-	// The neighbour query reuses m.near: the loop below only fills the
-	// delivery record and never re-enters Broadcast (CSMA retries and agent
-	// responses run later, from kernel callbacks), so the scratch buffer is
-	// not live across a nested query.
-	m.near = m.hash.NearAppend(m.near[:0], sender.pos, m.loss.MaxRange())
-	for _, i := range m.near {
-		id := m.ids[i]
-		if id == from {
-			continue
-		}
-		target := m.eps[i]
-		dist := sender.pos.Dist(target.pos)
-		if !m.loss.Delivers(dist, m.stream) {
+	row, dists := m.topo.Row(sender.idx)
+	if cap(d.targets) < len(row) {
+		// The row length bounds the fan-out exactly, so one right-sized
+		// allocation per pooled record replaces the append growth chain.
+		d.targets = make([]*endpoint, 0, len(row))
+	}
+	for k, j := range row {
+		target := m.eps[j]
+		if !m.loss.Delivers(dists[k], m.stream) {
 			m.stats.DroppedLoss++
 			continue
 		}

@@ -71,16 +71,17 @@ func DefaultConfig() Config {
 // Agent is one node's SAS protocol instance.
 type Agent struct {
 	cfg      Config
+	n        *node.Node // bound at Init; the arg handlers below reach it here
 	reports  map[radio.NodeID]core.NeighborReport
 	scratch  []core.NeighborReport // reused snapshot buffer
-	schedule *core.SleepSchedule
+	schedule core.SleepSchedule
 
 	speed    float64 // scalar spreading-speed estimate (0 = unknown)
 	hasSpeed bool
 
-	decision       *sim.Timer
-	reassess       *sim.Timer
-	coveredTimeout *sim.Timer
+	decision       sim.Timer
+	reassess       sim.Timer
+	coveredTimeout sim.Timer
 
 	detected   bool
 	detectedAt float64
@@ -91,18 +92,93 @@ var _ node.Agent = (*Agent)(nil)
 
 // New constructs a SAS agent.
 func New(cfg Config) *Agent {
-	return &Agent{
+	a := &Agent{}
+	a.fill(cfg)
+	return a
+}
+
+// fill initializes an agent in place — shared by New and the slab factory.
+func (a *Agent) fill(cfg Config) {
+	*a = Agent{
 		cfg:      cfg,
 		reports:  make(map[radio.NodeID]core.NeighborReport),
-		schedule: core.NewSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
+		schedule: core.MakeSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
+	}
+}
+
+// NewSlab returns a factory producing up to n agents carved from one
+// contiguous slab (mirroring core.NewSlab); agents past n fall back to
+// individual allocation.
+func NewSlab(cfg Config, n int) func() *Agent {
+	slab := make([]Agent, 0, n)
+	return func() *Agent {
+		if len(slab) == cap(slab) {
+			return New(cfg)
+		}
+		slab = slab[:len(slab)+1]
+		a := &slab[len(slab)-1]
+		a.fill(cfg)
+		return a
+	}
+}
+
+// Package-level arg handlers (mirroring the PAS agent): re-arming timers
+// with long-lived handlers and the agent as the argument keeps the
+// steady-state probe/reassess cycle free of closure allocations.
+func sasDecide(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	a.decide(a.n)
+}
+
+func sasReassess(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	if n.State() != node.StateAlert {
+		return
+	}
+	if n.Sense() {
+		return // detection takes over (OnDetect ran)
+	}
+	if a.eta(n) >= a.cfg.AlertThreshold {
+		a.enterSafe(n, true)
+		return
+	}
+	a.armReassess(n)
+}
+
+func sasSpeedWindow(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	if s, ok := a.scalarSpeed(a.n); ok {
+		a.speed, a.hasSpeed = s, true
+	}
+	a.sendResponse(a.n)
+}
+
+func sasCoveredTimeout(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	if n.State() != node.StateCovered || !n.IsAwake() {
+		return
+	}
+	if n.CoveredNow() {
+		return
+	}
+	a.enterSafe(n, true)
+}
+
+func sasStaggerSend(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	if a.n.IsAwake() && a.n.State() == node.StateCovered {
+		a.sendResponse(a.n)
 	}
 }
 
 // Init implements node.Agent.
 func (a *Agent) Init(n *node.Node) {
-	a.decision = sim.NewTimer(n.Kernel())
-	a.reassess = sim.NewTimer(n.Kernel())
-	a.coveredTimeout = sim.NewTimer(n.Kernel())
+	a.n = n
+	a.decision.Bind(n.Kernel())
+	a.reassess.Bind(n.Kernel())
+	a.coveredTimeout.Bind(n.Kernel())
 	n.SetState(node.StateSafe)
 	a.probe(n)
 }
@@ -111,7 +187,7 @@ func (a *Agent) Init(n *node.Node) {
 // decision.
 func (a *Agent) probe(n *node.Node) {
 	n.Broadcast(core.Request{}.Envelope())
-	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) { a.decide(n) })
+	a.decision.ResetArg(a.cfg.ResponseWindow, sasDecide, a)
 }
 
 // decide commits to staying awake (near the front) or sleeping longer.
@@ -128,19 +204,7 @@ func (a *Agent) decide(n *node.Node) {
 }
 
 func (a *Agent) armReassess(n *node.Node) {
-	a.reassess.Reset(a.cfg.AlertReassess, func(*sim.Kernel) {
-		if n.State() != node.StateAlert {
-			return
-		}
-		if n.Sense() {
-			return // detection takes over (OnDetect ran)
-		}
-		if a.eta(n) >= a.cfg.AlertThreshold {
-			a.enterSafe(n, true)
-			return
-		}
-		a.armReassess(n)
-	})
+	a.reassess.ResetArg(a.cfg.AlertReassess, sasReassess, a)
 }
 
 func (a *Agent) enterSafe(n *node.Node, resetRamp bool) {
@@ -166,12 +230,7 @@ func (a *Agent) OnDetect(n *node.Node) {
 	a.decision.Stop()
 	n.SetState(node.StateCovered)
 	n.Broadcast(core.Request{}.Envelope())
-	a.decision.Reset(a.cfg.ResponseWindow, func(*sim.Kernel) {
-		if s, ok := a.scalarSpeed(n); ok {
-			a.speed, a.hasSpeed = s, true
-		}
-		a.sendResponse(n)
-	})
+	a.decision.ResetArg(a.cfg.ResponseWindow, sasSpeedWindow, a)
 }
 
 // scalarSpeed is SAS's "simple method for the local velocity estimation":
@@ -203,15 +262,7 @@ func (a *Agent) scalarSpeed(n *node.Node) (float64, bool) {
 
 // OnStimulusGone implements node.Agent.
 func (a *Agent) OnStimulusGone(n *node.Node) {
-	a.coveredTimeout.Reset(a.cfg.DetectionTimeout, func(*sim.Kernel) {
-		if n.State() != node.StateCovered || !n.IsAwake() {
-			return
-		}
-		if n.CoveredNow() {
-			return
-		}
-		a.enterSafe(n, true)
-	})
+	a.coveredTimeout.ResetArg(a.cfg.DetectionTimeout, sasCoveredTimeout, a)
 }
 
 // OnMessage implements node.Agent. The crucial SAS restriction lives here:
@@ -244,11 +295,7 @@ func (a *Agent) handleRequest(n *node.Node) {
 		a.sendResponse(n)
 		return
 	}
-	n.Kernel().Schedule(stagger, func(*sim.Kernel) {
-		if n.IsAwake() && n.State() == node.StateCovered {
-			a.sendResponse(n)
-		}
-	})
+	n.Kernel().ScheduleArg(stagger, sasStaggerSend, a)
 }
 
 // handleResponse folds a neighbour's alert into the report table.
@@ -318,6 +365,10 @@ func (a *Agent) sendResponse(n *node.Node) {
 // sortedReports snapshots the report table in deterministic (ID) order into
 // a reused buffer; callers only read the slice during the call.
 func (a *Agent) sortedReports() []core.NeighborReport {
+	if cap(a.scratch) < len(a.reports) {
+		// One right-sized allocation instead of an append growth chain.
+		a.scratch = make([]core.NeighborReport, 0, len(a.reports))
+	}
 	out := a.scratch[:0]
 	for _, r := range a.reports {
 		out = append(out, r)

@@ -281,6 +281,73 @@ func TestTimerResetAt(t *testing.T) {
 	}
 }
 
+func TestTimerBind(t *testing.T) {
+	k := NewKernel()
+	var tm Timer // zero-value, slab-style
+	tm.Bind(k)
+	fired := false
+	tm.Reset(3, func(*Kernel) { fired = true })
+	k.Run()
+	if !fired {
+		t.Error("bound timer never fired")
+	}
+	// Rebinding an unarmed timer is legal (e.g. slab reuse)...
+	tm.Bind(NewKernel())
+	// ...but rebinding while armed must panic: the pending event belongs to
+	// the old kernel.
+	tm.Bind(k)
+	tm.Reset(1, func(*Kernel) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Bind of an armed timer did not panic")
+		}
+	}()
+	tm.Bind(NewKernel())
+}
+
+func TestTimerResetArg(t *testing.T) {
+	k := NewKernel()
+	tm := NewTimer(k)
+	type box struct{ fired int }
+	b := &box{}
+	h := func(_ *Kernel, arg any) { arg.(*box).fired++ }
+	tm.ResetArg(5, h, b)
+	if !tm.Armed() || tm.Expires != 5 {
+		t.Errorf("armed=%v expires=%v", tm.Armed(), tm.Expires)
+	}
+	// Re-arming with a plain handler replaces the arg form entirely.
+	tm.Reset(2, func(*Kernel) { b.fired += 100 })
+	// ...and re-arming back to the arg form replaces the plain handler.
+	tm.ResetAtArg(9, h, b)
+	k.Run()
+	if b.fired != 1 {
+		t.Errorf("fired = %d, want exactly one arg-handler firing", b.fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerResetArgZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	tm := NewTimer(k)
+	h := func(*Kernel, any) {}
+	arg := &struct{}{}
+	tm.ResetArg(1, h, arg)
+	tm.Stop()
+	for i := 0; i < 64; i++ {
+		k.Schedule(1, func(*Kernel) {})
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.ResetArg(1, h, arg)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Timer ResetArg+Stop allocates %g allocs/op, want 0", allocs)
+	}
+}
+
 func TestQuickEventsExecuteInTimeOrder(t *testing.T) {
 	f := func(delays []uint16) bool {
 		k := NewKernel()

@@ -3,46 +3,81 @@ package sim
 // Timer is a restartable one-shot timer bound to a kernel, analogous to
 // time.Timer but in virtual time. Protocol agents use it for wake-ups and
 // detection timeouts that are frequently re-armed or cancelled. The timer
-// reuses one internal trampoline closure across re-arms, so Reset/Stop on the
-// simulation hot path allocate nothing (as long as the caller also reuses its
-// handler closure).
+// schedules a shared package-level trampoline with itself as the event
+// argument, so arming allocates nothing — not even the one-time closure the
+// previous design paid per timer — and Reset/Stop on the simulation hot path
+// stay allocation-free as long as the caller also reuses its handler (or uses
+// ResetArg with a long-lived ArgHandler).
 type Timer struct {
 	k       *Kernel
 	id      EventID
 	armed   bool
 	Expires Time // absolute expiry time while armed
 
-	h    Handler // handler of the current arm
-	fire Handler // cached trampoline scheduled on the kernel
+	h   Handler    // handler of the current arm (closure form)
+	ah  ArgHandler // handler of the current arm (arg form); arg rides below
+	arg any
 }
 
 // NewTimer returns an unarmed timer bound to k.
 func NewTimer(k *Kernel) *Timer { return &Timer{k: k} }
 
+// Bind initializes a zero-value timer in place — the value-type counterpart
+// of NewTimer, used by slab-allocated owners (node.Node, the protocol agents)
+// that embed timers instead of pointing at heap-allocated ones. Rebinding an
+// armed timer panics: the pending event belongs to the old kernel.
+func (t *Timer) Bind(k *Kernel) {
+	if t.armed {
+		panic("sim: Bind on an armed timer")
+	}
+	t.k = k
+}
+
 // Armed reports whether the timer is currently pending.
 func (t *Timer) Armed() bool { return t.armed }
 
-// arm schedules the cached trampoline at absolute time at.
-func (t *Timer) arm(at Time, h Handler) {
+// timerFire is the shared trampoline every armed timer schedules; the event
+// argument is the timer itself, so no per-timer closure exists.
+func timerFire(k *Kernel, arg any) {
+	t := arg.(*Timer)
+	t.armed = false
+	if t.ah != nil {
+		t.ah(k, t.arg)
+		return
+	}
+	t.h(k)
+}
+
+// arm schedules the shared trampoline at absolute time at.
+func (t *Timer) arm(at Time) {
 	t.Stop()
 	t.Expires = at
 	t.armed = true
-	t.h = h
-	if t.fire == nil {
-		t.fire = func(k *Kernel) {
-			t.armed = false
-			t.h(k)
-		}
-	}
-	t.id = t.k.ScheduleAt(at, t.fire)
+	t.id = t.k.ScheduleArgAt(at, timerFire, t)
 }
 
 // Reset (re)arms the timer to fire h after delay, cancelling any previous
 // schedule.
-func (t *Timer) Reset(delay Time, h Handler) { t.arm(t.k.Now()+delay, h) }
+func (t *Timer) Reset(delay Time, h Handler) { t.ResetAt(t.k.Now()+delay, h) }
 
 // ResetAt (re)arms the timer to fire h at absolute time at.
-func (t *Timer) ResetAt(at Time, h Handler) { t.arm(at, h) }
+func (t *Timer) ResetAt(at Time, h Handler) {
+	t.h, t.ah, t.arg = h, nil, nil
+	t.arm(at)
+}
+
+// ResetArg (re)arms the timer to fire h(k, arg) after delay. A long-lived
+// ArgHandler with a pointer-shaped arg makes re-arms entirely closure-free:
+// protocol agents pass themselves as the argument instead of capturing state.
+func (t *Timer) ResetArg(delay Time, h ArgHandler, arg any) {
+	t.ResetAtArg(t.k.Now()+delay, h, arg)
+}
+
+// ResetAtArg (re)arms the timer to fire h(k, arg) at absolute time at.
+func (t *Timer) ResetAtArg(at Time, h ArgHandler, arg any) {
+	t.h, t.ah, t.arg = nil, h, arg
+	t.arm(at)
+}
 
 // Stop cancels the timer if armed, reporting whether it was armed.
 func (t *Timer) Stop() bool {

@@ -47,9 +47,12 @@
 // The CLIs select specs with -scenario: passim runs one (passim -scenario
 // poisson), pasbench sweeps one (pasbench -scenario scale-1k), and the
 // ext-scale experiment sweeps the deployment size across 100/1k/10k nodes.
-// The 10 000-node runs complete in seconds: deployment generation, neighbour
-// search and delivery are all spatial-hash based (nothing on the run path is
-// O(n²) in the node count), and BenchmarkScale10k pins the cost.
+// The 10 000-node runs complete in a fraction of a second: deployment
+// generation uses the spatial hash, broadcast delivery walks a frozen CSR
+// topology compiled once per deployment (nothing on the run path is O(n²)
+// in the node count, or even re-derives per-link geometry per broadcast),
+// and BenchmarkScale10k / BenchmarkScale10kColdStart pin the warm and cold
+// cost.
 //
 // # Parallel replication
 //
@@ -64,8 +67,9 @@
 //
 // # Performance
 //
-// The run path is engineered for zero steady-state allocations, because
-// kernel overhead taxes every cell the replication engine fans out:
+// The run path is engineered for zero steady-state allocations and no
+// re-derived geometry, because kernel and channel overhead tax every cell
+// the replication engine fans out:
 //
 //   - internal/sim is an arena-based discrete-event kernel: events live in a
 //     flat slice recycled through a freelist, the priority queue is a 4-ary
@@ -73,26 +77,43 @@
 //     EventIDs are generation-tagged so Cancel is an O(1) stamp check with
 //     lazy removal at pop. Events can carry an argument (ScheduleArgAt), so
 //     batched subsystems schedule one long-lived handler against pooled
-//     records instead of a closure per event. Steady-state
-//     Schedule/Step/Cancel — and sim.Timer re-arms — allocate nothing;
+//     records instead of a closure per event; sim.Timer re-arms through a
+//     shared trampoline (and ResetArg makes re-arms entirely closure-free).
+//     Steady-state Schedule/Step/Cancel and Timer re-arms allocate nothing;
 //     regression tests pin 0 allocs/op.
-//   - internal/radio batches delivery: each broadcast is ONE kernel event
-//     fanning out from a pooled delivery record (receiver list + message
-//     reused across broadcasts), and protocol traffic travels as a
-//     value-dispatch radio.Envelope (a small tagged union covering
-//     REQUEST/RESPONSE/beacons) instead of a boxed interface, with the
-//     Message interface kept as a KindExt slow path for tests and
-//     extensions. A full broadcast→delivery cycle allocates nothing
-//     (BenchmarkBroadcastDeliver pins 0 allocs/op); the spatial-hash
-//     neighbour scratch, in-flight list and rebuild buffers are reused too.
-//   - internal/experiment memoizes deployments: every cell sharing (seed,
-//     field, nodes, range) reuses one immutable deployment instead of
-//     re-running the connected-uniform rejection sampler per protocol.
+//   - internal/radio freezes the topology: deployments are static, so on
+//     the first broadcast the medium compiles its spatial hash into a CSR
+//     adjacency (radio.Topology — per node, the in-range receivers in
+//     ascending ID order with precomputed link distances) and every
+//     broadcast walks one flat row instead of scanning hash buckets.
+//     Delivery is batched: each broadcast is ONE kernel event fanning out
+//     from a pooled delivery record sized exactly to its CSR row, and
+//     protocol traffic travels as a value-dispatch radio.Envelope (a small
+//     tagged union) with the boxed Message interface kept as a KindExt slow
+//     path. A full broadcast→delivery cycle — including a nested
+//     rebroadcast from inside a delivery — allocates nothing
+//     (BenchmarkBroadcastDeliver and the radio alloc tests pin 0
+//     allocs/op). AddNode after the freeze recompiles the topology on the
+//     next broadcast.
+//   - Construction is slab-allocated: node.BuildNetwork carves nodes,
+//     radio endpoints and protocol agents from per-network slabs, meters
+//     and timers are embedded by value, and protocol callbacks are
+//     package-level arg handlers bound to the agent, so building a
+//     10 000-node network costs ~1 allocation per node instead of ~35
+//     (BenchmarkNetworkConstruction tracks the build-only cost).
+//   - internal/experiment memoizes deployments AND their compiled
+//     topologies: every cell sharing (seed, field, nodes, range, loss
+//     range) reuses one immutable deployment and one CSR compilation
+//     instead of re-deriving both per protocol × seed
+//     (BenchmarkScale10kColdStart measures the memoization-free worst
+//     case).
 //
 // Determinism is pinned by golden-trace snapshots
 // (internal/experiment/testdata/golden): fresh serial and 8-way-parallel
-// runs of fig4, ext-plume and ext-lifetime must match the committed output
-// byte-for-byte; regenerate intentionally with
+// runs of fig4, ext-plume, ext-lifetime and ext-lossy-csma (the
+// imperfect-channel + collisions + CSMA workload, so every consumer of
+// channel randomness is trace-pinned against the frozen CSR rows) must
+// match the committed output byte-for-byte; regenerate intentionally with
 // `go test ./internal/experiment -run TestGoldenTraces -update`.
 //
 // To profile a hot path, run the harness under pprof directly:
@@ -100,10 +121,12 @@
 //	pasbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
 //	go tool pprof cpu.out
 //
-// BENCH_1.json pins the benchmark baseline; `go run ./cmd/benchcheck`
-// compares fresh `go test -bench` output against it (CI does this
-// automatically, warning on >20% drift in ns/op or allocs/op — for the
-// zero-alloc baselines any allocation at all warns).
+// BENCH_2.json pins the benchmark baseline (BENCH_1.json is kept as the
+// pre-CSR historical point); `go run ./cmd/benchcheck` compares fresh
+// `go test -bench` output against it (CI does this automatically, warning
+// on >20% drift in ns/op or allocs/op — for the zero-alloc baselines any
+// allocation at all warns — and publishes the comparison as machine-readable
+// JSON rows via -json).
 //
 // # Module layout
 //
