@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	pas "repro"
@@ -111,11 +112,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if c.list {
-		for _, e := range pas.Experiments() {
+		// Both registries are kept in presentation order internally; the
+		// listing sorts them so ids/names are findable at a glance.
+		exps := pas.Experiments()
+		sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+		for _, e := range exps {
 			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
 		fmt.Fprintln(stdout, "\nscenarios (-scenario):")
-		for _, sp := range pas.Scenarios() {
+		sps := pas.Scenarios()
+		sort.Slice(sps, func(i, j int) bool { return sps[i].Name < sps[j].Name })
+		for _, sp := range sps {
 			fmt.Fprintf(stdout, "%-16s %s\n", sp.Name, sp.Description)
 		}
 		return 0

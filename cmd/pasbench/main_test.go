@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -113,6 +114,33 @@ func TestRunList(t *testing.T) {
 	for _, id := range []string{"fig4", "ext-plume", "ext-lifetime"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+// TestRunListSorted pins that both halves of the listing come out sorted:
+// experiments by id, scenarios by name.
+func TestRunListSorted(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr %q", code, stderr.String())
+	}
+	parts := strings.SplitN(stdout.String(), "scenarios (-scenario):", 2)
+	if len(parts) != 2 {
+		t.Fatalf("missing scenarios section: %q", stdout.String())
+	}
+	for half, text := range map[string]string{"experiments": parts[0], "scenarios": parts[1]} {
+		var keys []string
+		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+			if fields := strings.Fields(line); len(fields) > 0 {
+				keys = append(keys, fields[0])
+			}
+		}
+		if len(keys) < 2 {
+			t.Fatalf("%s listing too short: %q", half, text)
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("%s listing not sorted: %v", half, keys)
 		}
 	}
 }

@@ -1,0 +1,100 @@
+// Command passerve runs the PAS reproduction as a long-lived simulation
+// service: an HTTP/JSON daemon that schedules runs on a bounded worker pool
+// and answers repeated questions from a content-addressed result store
+// (determinism makes identical requests cache hits, not re-simulations).
+//
+// Usage:
+//
+//	passerve                          # listen on :8080 with defaults
+//	passerve -addr 127.0.0.1:9090     # bind elsewhere
+//	passerve -workers 8 -queue 32     # pool sizing (admission beyond → 429)
+//	passerve -timeout 10s -max-timeout 1m
+//	passerve -cache 16384             # result-store capacity (entries)
+//
+// Endpoints:
+//
+//	POST /v1/runs       {"name":"paper","seed":1}             one simulation
+//	POST /v1/replicate  {"name":"paper","seeds":[1,2,3]}      seed aggregate
+//	GET  /v1/scenarios                                        the registry
+//	GET  /v1/stats                                            serving counters
+//	GET  /v1/healthz                                          liveness
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	pas "repro"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseFlags parses the command line into a serve configuration.
+func parseFlags(args []string, stderr io.Writer) (addr string, cfg pas.ServeConfig, err error) {
+	fs := flag.NewFlagSet("passerve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.Workers, "workers", 0, "concurrent simulations (0 = one per CPU)")
+	fs.IntVar(&cfg.QueueDepth, "queue", 0, "queued simulations beyond the workers before 429 (0 = 4x workers)")
+	fs.DurationVar(&cfg.DefaultTimeout, "timeout", 0, "default per-request deadline (0 = 30s)")
+	fs.DurationVar(&cfg.MaxTimeout, "max-timeout", 0, "hard cap on request deadlines (0 = 2m)")
+	fs.IntVar(&cfg.CacheEntries, "cache", 0, "result-store capacity in entries (0 = 4096)")
+	err = fs.Parse(args)
+	return addr, cfg, err
+}
+
+// run executes one invocation and returns the process exit code. It serves
+// until ctx is cancelled, then drains in-flight requests and exits.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	addr, cfg, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "passerve: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: pas.NewServer(cfg)}
+	fmt.Fprintf(stdout, "passerve listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure here (Shutdown is the
+		// other path, and it goes through ctx).
+		fmt.Fprintf(stderr, "passerve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "passerve shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "passerve: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

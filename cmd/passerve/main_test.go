@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the serve goroutine and the test can
+// share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, exercises one
+// request end to end, and verifies signal-driven graceful shutdown.
+func TestServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, &stdout, &stderr)
+	}()
+
+	// The daemon prints its resolved address once the listener is up.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		if out := stdout.String(); strings.Contains(out, "listening on ") {
+			line := out[strings.Index(out, "listening on ")+len("listening on "):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: status %d body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"name":"paper","seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run through the daemon: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr=%q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+	if !strings.Contains(stdout.String(), "shutting down") {
+		t.Fatalf("no shutdown notice in stdout: %q", stdout.String())
+	}
+}
+
+// TestFlagErrors pins the CLI error paths.
+func TestFlagErrors(t *testing.T) {
+	var out syncBuffer
+	if code := run(context.Background(), []string{"-nope"}, &out, &out); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-h"}, &out, &out); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out, &out); code != 1 {
+		t.Fatalf("unbindable addr: exit %d, want 1", code)
+	}
+}

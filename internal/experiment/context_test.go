@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRunOnceContextCancelled verifies a dead context stops a run before it
+// completes (and before it even builds).
+func TestRunOnceContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOnceContext(ctx, RunConfig{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunOnceContextDeadlineMidRun verifies an expiring deadline interrupts
+// the kernel between slices rather than running to the horizon.
+func TestRunOnceContextDeadlineMidRun(t *testing.T) {
+	// A microscopic deadline expires while the simulation executes; the run
+	// must report the deadline error instead of a full-horizon report.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline lapse for certain
+	_, err := RunOnceContext(ctx, RunConfig{Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunOnceContextMatchesRunOnce pins that a live cancellable context —
+// which takes the sliced kernel path — produces byte-identical reports to
+// the plain Background run, at several seeds.
+func TestRunOnceContextMatchesRunOnce(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rc := RunConfig{Seed: seed}
+		want, err := RunOnce(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		got, err := RunOnceContext(ctx, rc)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: sliced run drifted from the unsliced run", seed)
+		}
+	}
+}
+
+// TestReplicateParallelContextCancel verifies cancellation propagates through
+// the replication pool at serial and parallel settings.
+func TestReplicateParallelContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 4} {
+		_, err := ReplicateParallelContext(ctx, RunConfig{}, DefaultSeeds(8), p)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", p, err)
+		}
+	}
+}
+
+// TestReplicateContextMatchesReplicate pins aggregate equality between the
+// ctx and ctx-free forms on a live context.
+func TestReplicateContextMatchesReplicate(t *testing.T) {
+	seeds := DefaultSeeds(3)
+	want, err := Replicate(RunConfig{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := ReplicateContext(ctx, RunConfig{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("ctx-aware replication drifted from the plain form")
+	}
+}

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -170,11 +171,25 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 
 // RunOnce executes one simulation and collects its metrics.
 func RunOnce(rc RunConfig) (metrics.RunReport, error) {
+	return RunOnceContext(context.Background(), rc)
+}
+
+// RunOnceContext is RunOnce with cooperative cancellation: the context is
+// checked before the network is built and between kernel slices while the
+// simulation runs (node.Network.RunContext), so a cancelled or expired
+// request stops within a fraction of the run instead of completing it. A
+// non-cancellable context (context.Background()) reproduces RunOnce exactly.
+func RunOnceContext(ctx context.Context, rc RunConfig) (metrics.RunReport, error) {
+	if err := ctx.Err(); err != nil {
+		return metrics.RunReport{}, err
+	}
 	nw, rc, err := Build(rc)
 	if err != nil {
 		return metrics.RunReport{}, err
 	}
-	nw.Run(rc.Scenario.Horizon)
+	if _, err := nw.RunContext(ctx, rc.Scenario.Horizon); err != nil {
+		return metrics.RunReport{}, err
+	}
 	return metrics.Collect(nw.Nodes, rc.Scenario.Horizon), nil
 }
 
@@ -184,17 +199,32 @@ func Replicate(rc RunConfig, seeds []int64) (metrics.Aggregate, error) {
 	return ReplicateParallel(rc, seeds, 1)
 }
 
+// ReplicateContext is Replicate with cooperative cancellation between (and
+// inside) the per-seed runs.
+func ReplicateContext(ctx context.Context, rc RunConfig, seeds []int64) (metrics.Aggregate, error) {
+	return ReplicateParallelContext(ctx, rc, seeds, 1)
+}
+
 // ReplicateParallel runs the config once per seed across a pool of
 // parallelism workers (non-positive means one per CPU) and folds the
 // reports in seed order, so the aggregate is bit-identical to a serial
 // replication at any parallelism.
 func ReplicateParallel(rc RunConfig, seeds []int64, parallelism int) (metrics.Aggregate, error) {
+	return ReplicateParallelContext(context.Background(), rc, seeds, parallelism)
+}
+
+// ReplicateParallelContext is ReplicateParallel with cooperative
+// cancellation: the pool stops claiming seeds once ctx is done and in-flight
+// runs stop at their next kernel slice, so the call returns promptly with
+// ctx's error instead of a partial aggregate.
+func ReplicateParallelContext(ctx context.Context, rc RunConfig, seeds []int64, parallelism int) (metrics.Aggregate, error) {
 	var agg metrics.Aggregate
-	reports, err := runner.Map(parallelism, len(seeds), func(i int) (metrics.RunReport, error) {
-		rc := rc
-		rc.Seed = seeds[i]
-		return RunOnce(rc)
-	})
+	reports, err := runner.MapContext(ctx, parallelism, len(seeds),
+		func(ctx context.Context, i int) (metrics.RunReport, error) {
+			rc := rc
+			rc.Seed = seeds[i]
+			return RunOnceContext(ctx, rc)
+		})
 	if err != nil {
 		return agg, err
 	}

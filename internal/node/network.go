@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deploy"
@@ -95,15 +96,45 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 // Run starts every agent, executes the simulation to the horizon and closes
 // all meters at it. It returns the horizon for convenience.
 func (nw *Network) Run(horizon float64) float64 {
+	h, _ := nw.RunContext(context.Background(), horizon) // Background never cancels
+	return h
+}
+
+// runContextChecks is how many times RunContext polls a cancellable context
+// over the horizon. The slices only bound cancellation latency; they cannot
+// change results, because no handler runs between them — chunked RunUntil
+// calls execute exactly the event sequence one call would.
+const runContextChecks = 128
+
+// RunContext is Run with cooperative cancellation: the kernel executes in
+// horizon/128 slices and stops between them once ctx is done, returning the
+// virtual time reached and ctx's error. Meters are only closed — and the
+// network only collectable — on a complete run. A context that cannot be
+// cancelled (ctx.Done() == nil, e.g. context.Background()) takes the
+// unsliced fast path, so Run keeps its historical single-RunUntil behavior
+// byte for byte.
+func (nw *Network) RunContext(ctx context.Context, horizon float64) (float64, error) {
 	if horizon <= 0 {
 		panic(fmt.Sprintf("node: horizon must be positive, got %g", horizon))
 	}
 	for _, n := range nw.Nodes {
 		n.Start()
 	}
+	if ctx.Done() != nil {
+		slice := horizon / runContextChecks
+		for t := slice; t < horizon; t += slice {
+			if err := ctx.Err(); err != nil {
+				return nw.Kernel.Now(), err
+			}
+			nw.Kernel.RunUntil(t)
+		}
+		if err := ctx.Err(); err != nil {
+			return nw.Kernel.Now(), err
+		}
+	}
 	nw.Kernel.RunUntil(horizon)
 	for _, n := range nw.Nodes {
 		n.Finish(horizon)
 	}
-	return horizon
+	return horizon, nil
 }

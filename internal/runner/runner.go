@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,6 +39,19 @@ func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // deliberately lets panics propagate unchanged (parallelism 1 reproduces a
 // plain loop, stack trace included).
 func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), parallelism, n,
+		func(_ context.Context, i int) (T, error) { return job(i) })
+}
+
+// MapContext is Map with cooperative cancellation: the pool stops claiming
+// new jobs once ctx is done, in-flight jobs finish (each receives ctx, so a
+// ctx-aware job can also stop early), and the error returned is the lowest-
+// indexed job error when one occurred, else ctx.Err() when cancellation left
+// any job unclaimed or unfinished. A run whose jobs all completed before the
+// cancellation returns its full results and a nil error. The serial path
+// checks ctx between jobs and otherwise reproduces a plain loop exactly,
+// panics included.
+func MapContext[T any](ctx context.Context, parallelism, n int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -50,7 +64,10 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if parallelism == 1 {
 		for i := 0; i < n; i++ {
-			v, err := job(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := job(ctx, i)
 			if err != nil {
 				return nil, err
 			}
@@ -64,16 +81,17 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 				err = fmt.Errorf("runner: job %d panicked: %v", i, r)
 			}
 		}()
-		return job(i)
+		return job(ctx, i)
 	}
 
 	var (
-		next    atomic.Int64 // next job index to claim
-		stop    atomic.Bool  // set on first error; halts claiming
-		errMu   sync.Mutex
-		errIdx  = n // lowest failed index seen so far
-		firstEr error
-		wg      sync.WaitGroup
+		next        atomic.Int64 // next job index to claim
+		stop        atomic.Bool  // set on first error; halts claiming
+		interrupted atomic.Bool  // ctx cancelled before every job was claimed
+		errMu       sync.Mutex
+		errIdx      = n // lowest failed index seen so far
+		firstEr     error
+		wg          sync.WaitGroup
 	)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -85,6 +103,12 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					// Claimed index i but will not run it: the result set is
+					// incomplete, so the whole Map must report cancellation.
+					interrupted.Store(true)
 					return
 				}
 				v, err := safeJob(i)
@@ -105,6 +129,9 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 	if firstEr != nil {
 		return nil, firstEr
 	}
+	if interrupted.Load() {
+		return nil, ctx.Err()
+	}
 	return out, nil
 }
 
@@ -112,6 +139,14 @@ func Map[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 func Each(parallelism, n int, job func(i int) error) error {
 	_, err := Map(parallelism, n, func(i int) (struct{}, error) {
 		return struct{}{}, job(i)
+	})
+	return err
+}
+
+// EachContext is MapContext for side-effecting jobs with no result value.
+func EachContext(ctx context.Context, parallelism, n int, job func(ctx context.Context, i int) error) error {
+	_, err := MapContext(ctx, parallelism, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, job(ctx, i)
 	})
 	return err
 }

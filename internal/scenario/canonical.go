@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Canonical renders the spec as canonical JSON: validated, defaults
+// materialized, fields irrelevant to the selected kinds zeroed (so they drop
+// from the encoding), object keys sorted, and numbers in Go's shortest-float
+// form. Two specs that compile to the same simulation — e.g. deployment kind
+// "" vs "uniform", or a falloff radio with Reliable 0 vs the materialized
+// 0.6×Range — canonicalize to the same bytes, which is what makes the result
+// a sound content-address: the serve layer keys its cache on Canonical, so
+// equivalent requests collapse onto one cached simulation.
+//
+// Canonical output is itself a valid spec: Decode(Canonical(s)) succeeds and
+// re-canonicalizes to byte-identical output (pinned by tests and by
+// FuzzScenarioJSON).
+func Canonical(s Scenario) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(s.normalized())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)
+	}
+	// Re-marshal through an untyped tree: maps encode with sorted keys, and
+	// json.Number preserves the literal the struct marshal chose, so the
+	// float formatting stays Go's canonical shortest form.
+	var tree any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)
+	}
+	out, err := json.Marshal(tree)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing %s: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// Hash returns the hex SHA-256 of the spec's canonical encoding — the
+// content address of the workload. Semantically equal specs hash equal.
+func Hash(s Scenario) (string, error) {
+	c, err := Canonical(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// normalized returns the spec with every build-time default materialized and
+// every field the selected kinds ignore reset to zero. It must preserve
+// behavior exactly: for any valid s and seed, the normalized spec compiles to
+// the identical simulation. Normalization is idempotent by construction —
+// every branch emits already-normal output.
+func (s Scenario) normalized() Scenario {
+	s.Deployment = s.Deployment.normalized(s.Field, s.Nodes)
+	s.Radio = s.Radio.normalized()
+	s.Stimulus = s.Stimulus.normalized()
+	s.Failures = s.Failures.normalized(s.Horizon)
+	s.Protocol = s.Protocol.normalized()
+	return s
+}
+
+// normalized mirrors the defaulting in Generate: only the fields the kind
+// consumes survive, with their fallback values filled in.
+func (d DeploymentSpec) normalized(field geom.Rect, n int) DeploymentSpec {
+	switch d.Kind {
+	case "", DeployUniform:
+		return DeploymentSpec{Kind: DeployUniform}
+	case DeployGrid:
+		return DeploymentSpec{Kind: DeployGrid, Jitter: d.Jitter}
+	case DeployClustered:
+		clusters := d.Clusters
+		if clusters <= 0 {
+			clusters = 5
+		}
+		if clusters > n {
+			clusters = n
+		}
+		spread := d.Spread
+		if spread <= 0 {
+			spread = 0.1 * math.Min(field.Width(), field.Height())
+		}
+		return DeploymentSpec{Kind: DeployClustered, Clusters: clusters, Spread: spread}
+	case DeployPoisson:
+		minDist := d.MinDist
+		if minDist <= 0 {
+			minDist = 0.7 * math.Sqrt(field.Area()/float64(n))
+		}
+		return DeploymentSpec{Kind: DeployPoisson, MinDist: minDist}
+	default:
+		return d // invalid kinds never reach here (Canonical validates first)
+	}
+}
+
+// normalized mirrors the defaulting in Model. Lossy with LossProb 0 is NOT
+// collapsed onto the unit disk: the lossy model still draws channel
+// randomness per delivery, so the two specs simulate differently downstream
+// of any collision/CSMA draw.
+func (r RadioSpec) normalized() RadioSpec {
+	out := RadioSpec{Range: r.Range, Collisions: r.Collisions, CSMA: r.CSMA}
+	switch r.Loss {
+	case "", LossUnit:
+		out.Loss = LossUnit
+	case LossLossy:
+		out.Loss = LossLossy
+		out.LossProb = r.LossProb
+	case LossFalloff:
+		out.Loss = LossFalloff
+		out.Reliable = r.Reliable
+		if out.Reliable <= 0 {
+			out.Reliable = 0.6 * r.Range
+		}
+	default:
+		return r
+	}
+	return out
+}
+
+// normalized keeps only the fields the kind's Build branch reads, mirroring
+// the clamps RandomAnisotropicFront applies.
+func (s StimulusSpec) normalized() StimulusSpec {
+	out := StimulusSpec{Kind: s.Kind, Dwell: s.Dwell}
+	switch s.Kind {
+	case StimRadial:
+		out.Origin, out.Speed, out.Start = s.Origin, s.Speed, s.Start
+	case StimAdvected:
+		out.Origin, out.Speed, out.Start, out.Drift = s.Origin, s.Speed, s.Start, s.Drift
+	case StimAnisotropic:
+		out.Origin, out.Speed, out.Start = s.Origin, s.Speed, s.Start
+		out.Irregularity = math.Min(s.Irregularity, 0.95)
+		out.Harmonics = s.Harmonics
+		if out.Harmonics < 1 {
+			out.Harmonics = 1
+		}
+	case StimMulti:
+		out.Sources = make([]StimulusSpec, len(s.Sources))
+		for i, sub := range s.Sources {
+			out.Sources[i] = sub.normalized()
+		}
+	case StimPlume:
+		out.Plume = s.Plume
+	case StimEikonal:
+		out.Eikonal = s.Eikonal
+	default:
+		return s
+	}
+	return out
+}
+
+// normalized drops the deadline when nothing fails and materializes the
+// "0 = horizon" deadline default otherwise (mirroring experiment.Build).
+func (f FailureSpec) normalized(horizon float64) FailureSpec {
+	if f.Fraction == 0 {
+		return FailureSpec{}
+	}
+	if f.By == 0 {
+		f.By = horizon
+	}
+	return f
+}
+
+// normalized materializes the conventional MaxSleep/5 ramp the experiment
+// harness fills in when a spec pins the cap but not the increment.
+func (p ProtocolSpec) normalized() ProtocolSpec {
+	if p.MaxSleep > 0 && p.SleepIncrement == 0 {
+		p.SleepIncrement = p.MaxSleep / 5
+	}
+	return p
+}

@@ -43,5 +43,34 @@ func FuzzScenarioJSON(f *testing.F) {
 		if !bytes.Equal(enc, enc2) {
 			t.Fatalf("encoding not canonical:\n%s\nvs\n%s", enc, enc2)
 		}
+		// The content-address pipeline must hold for every decodable spec:
+		// the canonical form decodes, re-canonicalizes byte-identically, and
+		// hashes equal to the original (the cache key of the serve layer).
+		c1, err := Canonical(sp)
+		if err != nil {
+			t.Fatalf("valid spec failed to canonicalize: %v\ninput: %s", err, data)
+		}
+		csp, err := Decode(c1)
+		if err != nil {
+			t.Fatalf("canonical form failed to decode: %v\n%s", err, c1)
+		}
+		c2, err := Canonical(csp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not idempotent:\n%s\nvs\n%s", c1, c2)
+		}
+		h1, err := Hash(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := Hash(csp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash not stable across canonicalization: %s vs %s", h1, h2)
+		}
 	})
 }

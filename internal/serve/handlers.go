@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// RunSummary is the headline report of one simulation in the wire shape.
+// FirstDeath is a pointer so runs where no node exhausted its battery omit
+// the field instead of emitting +Inf (which JSON cannot represent).
+type RunSummary struct {
+	AvgDelay      float64  `json:"avgDelay"`
+	P95Delay      float64  `json:"p95Delay"`
+	MaxDelay      float64  `json:"maxDelay"`
+	AvgEnergyJ    float64  `json:"avgEnergyJ"`
+	AvgDuty       float64  `json:"avgDuty"`
+	Detected      int      `json:"detected"`
+	Reached       int      `json:"reached"`
+	Missed        int      `json:"missed"`
+	Messages      int      `json:"messages"`
+	BatteryDeaths int      `json:"batteryDeaths,omitempty"`
+	FirstDeath    *float64 `json:"firstDeath,omitempty"`
+}
+
+// summarize projects a run report onto the wire shape.
+func summarize(rep metrics.RunReport) RunSummary {
+	out := RunSummary{
+		AvgDelay:      rep.AvgDelay,
+		P95Delay:      rep.P95Delay,
+		MaxDelay:      rep.MaxDelay,
+		AvgEnergyJ:    rep.AvgEnergyJ,
+		AvgDuty:       rep.AvgDuty,
+		Detected:      rep.Detected,
+		Reached:       rep.Reached,
+		Missed:        rep.Missed,
+		Messages:      rep.Messages,
+		BatteryDeaths: rep.BatteryDeaths,
+	}
+	if !math.IsInf(rep.FirstDeath, 1) {
+		fd := rep.FirstDeath
+		out.FirstDeath = &fd
+	}
+	return out
+}
+
+// RunResponse is the body of POST /v1/runs.
+type RunResponse struct {
+	// Key is the content address of this result.
+	Key string `json:"key"`
+	// Scenario/Protocol/Seed echo the resolved request.
+	Scenario string     `json:"scenario"`
+	Protocol string     `json:"protocol"`
+	Seed     int64      `json:"seed"`
+	Report   RunSummary `json:"report"`
+}
+
+// MeanCI is one replicated metric: mean and 95% CI half-width across seeds.
+type MeanCI struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+}
+
+// ReplicateResponse is the body of POST /v1/replicate. FirstDeath is
+// right-censored at the horizon for runs where no node died, so it is always
+// finite.
+type ReplicateResponse struct {
+	Key           string  `json:"key"`
+	Scenario      string  `json:"scenario"`
+	Protocol      string  `json:"protocol"`
+	Seeds         []int64 `json:"seeds"`
+	Delay         MeanCI  `json:"delay"`
+	Energy        MeanCI  `json:"energy"`
+	Duty          MeanCI  `json:"duty"`
+	Missed        MeanCI  `json:"missed"`
+	Messages      MeanCI  `json:"messages"`
+	MaxDelay      MeanCI  `json:"maxDelay"`
+	BatteryDeaths MeanCI  `json:"batteryDeaths"`
+	FirstDeath    MeanCI  `json:"firstDeath"`
+}
+
+// ScenarioInfo is one registry entry of GET /v1/scenarios.
+type ScenarioInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Nodes       int     `json:"nodes"`
+	Horizon     float64 `json:"horizon"`
+	// Hash is the content hash of the canonical spec — the same value the
+	// run/replicate keys are derived from.
+	Hash string `json:"hash"`
+}
+
+// handleRun serves POST /v1/runs: one (spec, seed) simulation.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
+	sp, err := s.resolveSpec(req)
+	if err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
+	canon, err := scenario.Canonical(sp)
+	if err != nil {
+		s.countAndWriteError(w, badRequest("%v", err))
+		return
+	}
+	key := resultKey(s.cfg.Version, "run", canon, req.Seed)
+	s.deliver(w, r, s.timeout(req), key, func(ctx context.Context) ([]byte, error) {
+		rc, err := experiment.FromScenario(sp, req.Seed)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		rep, err := experiment.RunOnceContext(ctx, rc)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(RunResponse{
+			Key:      key,
+			Scenario: sp.Name,
+			Protocol: rc.Protocol,
+			Seed:     req.Seed,
+			Report:   summarize(rep),
+		})
+	})
+}
+
+// handleReplicate serves POST /v1/replicate: one spec across a seed list,
+// aggregated. Seeds run serially on the one admitted worker slot — a single
+// replicate request cannot monopolize the pool — and each seed rebuilds the
+// stimulus, so seed-drawn stimuli (anisotropic harmonics) vary per seed
+// exactly as in a CLI replication.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
+	sp, err := s.resolveSpec(req)
+	if err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
+	seeds, err := resolveSeeds(req)
+	if err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
+	canon, err := scenario.Canonical(sp)
+	if err != nil {
+		s.countAndWriteError(w, badRequest("%v", err))
+		return
+	}
+	key := resultKey(s.cfg.Version, "replicate", canon, seeds...)
+	s.deliver(w, r, s.timeout(req), key, func(ctx context.Context) ([]byte, error) {
+		var agg metrics.Aggregate
+		var proto string
+		for _, seed := range seeds {
+			rc, err := experiment.FromScenario(sp, seed)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			proto = rc.Protocol
+			rep, err := experiment.RunOnceContext(ctx, rc)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(rep)
+		}
+		return marshalBody(ReplicateResponse{
+			Key:           key,
+			Scenario:      sp.Name,
+			Protocol:      proto,
+			Seeds:         seeds,
+			Delay:         meanCI(agg.Delay),
+			Energy:        meanCI(agg.Energy),
+			Duty:          meanCI(agg.Duty),
+			Missed:        meanCI(agg.Missed),
+			Messages:      meanCI(agg.Msgs),
+			MaxDelay:      meanCI(agg.MaxDel),
+			BatteryDeaths: meanCI(agg.Deaths),
+			FirstDeath:    meanCI(agg.FirstDeath),
+		})
+	})
+}
+
+// maxReplicateSeeds bounds one replicate request; larger studies should be
+// split so backpressure and deadlines stay meaningful per request.
+const maxReplicateSeeds = 64
+
+// resolveSeeds materializes the replicate seed list: explicit seeds win,
+// then reps (seeds 1..reps), then the harness-standard 8 replications.
+func resolveSeeds(req simRequest) ([]int64, error) {
+	if len(req.Seeds) > 0 && req.Reps > 0 {
+		return nil, badRequest(`request carries both "seeds" and "reps"; send one`)
+	}
+	if len(req.Seeds) > maxReplicateSeeds || req.Reps > maxReplicateSeeds {
+		return nil, badRequest("at most %d seeds per replicate request", maxReplicateSeeds)
+	}
+	if req.Reps < 0 {
+		return nil, badRequest("negative reps %d", req.Reps)
+	}
+	if len(req.Seeds) > 0 {
+		return req.Seeds, nil
+	}
+	reps := req.Reps
+	if reps == 0 {
+		reps = 8
+	}
+	return experiment.DefaultSeeds(reps), nil
+}
+
+// meanCI projects an accumulator onto the wire shape.
+func meanCI(a stats.Accumulator) MeanCI {
+	return MeanCI{Mean: a.Mean(), CI95: a.CI95()}
+}
+
+// handleScenarios serves GET /v1/scenarios: the registry sorted by name,
+// each entry with its canonical content hash.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	all := scenario.All()
+	infos := make([]ScenarioInfo, 0, len(all))
+	for _, sp := range all {
+		hash, err := scenario.Hash(sp)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		infos = append(infos, ScenarioInfo{
+			Name:        sp.Name,
+			Description: sp.Description,
+			Nodes:       sp.Nodes,
+			Horizon:     sp.Horizon,
+			Hash:        hash,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	s.writeJSON(w, map[string]any{"scenarios": infos})
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.Stats())
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// countAndWriteError records a pre-simulation failure in the request counter
+// (deliver never saw it) and writes the error response.
+func (s *Server) countAndWriteError(w http.ResponseWriter, err error) {
+	s.stats.requests.Add(1)
+	s.writeError(w, err)
+}
+
+// writeJSON emits v as a JSON response body.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	body, err := marshalBody(v)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Write(body)
+}
+
+// marshalBody renders a response body: compact JSON with a trailing newline.
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}

@@ -1,0 +1,369 @@
+// Package serve is the simulation-as-a-service layer of the PAS
+// reproduction: a long-running HTTP/JSON daemon over the experiment harness,
+// built around the determinism guarantee the rest of the repo pins — the
+// same canonical spec and seed produce byte-identical output — so identical
+// requests hit a content-addressed result store instead of a simulation.
+//
+// The request surface (all JSON):
+//
+//	POST /v1/runs       one (spec, seed) simulation → headline report
+//	POST /v1/replicate  one spec × a seed list → aggregate with CIs
+//	GET  /v1/scenarios  the registry, sorted by name, with content hashes
+//	GET  /v1/stats      cache hit rate, queue depth, p50/p99 latency, ...
+//	GET  /v1/healthz    liveness probe
+//
+// Results are keyed by SHA-256 over (code version, endpoint mode, canonical
+// spec JSON, seed list) — scenario.Canonical materializes defaults and
+// sorts keys, so every spelling of the same workload shares one cache line,
+// and the code-version component keeps results from one build from leaking
+// into the next. Concurrent identical requests collapse onto one simulation
+// via singleflight; distinct requests are admitted up to Workers running
+// plus QueueDepth waiting and rejected with 429 beyond that (backpressure,
+// not unbounded queueing). Every simulating request runs under a deadline
+// and stops mid-kernel when it expires (504).
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers caps concurrently executing simulations (0 = one per CPU).
+	Workers int
+	// QueueDepth bounds simulations admitted beyond the running Workers;
+	// requests needing a simulation past Workers+QueueDepth are rejected
+	// with 429 (0 = 4× Workers).
+	QueueDepth int
+	// DefaultTimeout applies when a request carries no timeoutSec (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied deadlines (0 = 2 min).
+	MaxTimeout time.Duration
+	// CacheEntries bounds the content-addressed result store (0 = 4096).
+	CacheEntries int
+	// Version overrides the code-version cache-key component. Empty uses
+	// the build's VCS revision (module version when absent), so a rebuild
+	// with different code cannot serve stale cached results.
+	Version string
+}
+
+// withDefaults materializes the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.Version == "" {
+		c.Version = CodeVersion()
+	}
+	return c
+}
+
+// CodeVersion derives the cache-key code-version component from the build
+// info: the VCS revision when the binary was built from a checkout, else the
+// main module version, else "dev". Deterministic within one build, distinct
+// across code changes — which is exactly what the cache key needs.
+func CodeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			return s.Value
+		}
+	}
+	if v := bi.Main.Version; v != "" {
+		return v
+	}
+	return "dev"
+}
+
+// Server is the passerve HTTP handler: a worker-pool front end over the
+// experiment harness with a content-addressed result store. Construct with
+// New; the zero value is not usable.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	admit  chan struct{} // admission: Workers + QueueDepth slots
+	work   chan struct{} // execution: Workers slots
+	cache  *resultCache
+	flight flightGroup
+	stats  serverStats
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		work:  make(chan struct{}, cfg.Workers),
+		cache: newResultCache(cfg.CacheEntries),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a point-in-time snapshot of the serving counters (the same
+// data GET /v1/stats reports).
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	st.CacheEntries = s.cache.len()
+	st.Version = s.cfg.Version
+	return st
+}
+
+// --- request plumbing ---
+
+// errSaturated reports that the bounded queue was full; it maps to 429.
+var errSaturated = errors.New("serve: saturated: all workers busy and queue full")
+
+// httpError is a JSON error with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// simRequest is the shared shape of the two simulation endpoints.
+type simRequest struct {
+	// Scenario is an inline spec (the scenario.Scenario JSON form) —
+	// mutually exclusive with Name.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Name selects a registry scenario.
+	Name string `json:"name,omitempty"`
+	// Protocol optionally overrides the spec's protocol pin
+	// (pas/sas/ns/duty; empty defers to the spec, then to pas).
+	Protocol string `json:"protocol,omitempty"`
+	// Seed is the single-run seed (POST /v1/runs).
+	Seed int64 `json:"seed,omitempty"`
+	// Seeds / Reps select the replication seed list (POST /v1/replicate):
+	// explicit seeds win, Reps means seeds 1..Reps, default 8 runs.
+	Seeds []int64 `json:"seeds,omitempty"`
+	Reps  int     `json:"reps,omitempty"`
+	// TimeoutSec is the per-request deadline in seconds, clamped to the
+	// server's MaxTimeout (0 = server default).
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+// resolveSpec turns the request's scenario selection into a validated spec
+// with the effective protocol materialized into it, so the canonical
+// encoding — and therefore the cache key — covers the protocol choice.
+func (s *Server) resolveSpec(req simRequest) (scenario.Scenario, error) {
+	var sp scenario.Scenario
+	switch {
+	case req.Name != "" && len(req.Scenario) > 0:
+		return sp, badRequest("request carries both name %q and an inline scenario; send one", req.Name)
+	case req.Name != "":
+		var ok bool
+		if sp, ok = scenario.Lookup(req.Name); !ok {
+			return sp, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("unknown scenario %q (GET /v1/scenarios lists the registry)", req.Name)}
+		}
+	case len(req.Scenario) > 0:
+		var err error
+		if sp, err = scenario.Decode(req.Scenario); err != nil {
+			return sp, badRequest("%v", err)
+		}
+	default:
+		return sp, badRequest(`request needs "name" or an inline "scenario"`)
+	}
+	switch req.Protocol {
+	case "":
+	case experiment.ProtoPAS, experiment.ProtoSAS, experiment.ProtoNS, experiment.ProtoDuty:
+		sp.Protocol.Name = req.Protocol
+	default:
+		return sp, badRequest("unknown protocol %q (pas, sas, ns or duty)", req.Protocol)
+	}
+	if sp.Protocol.Name == "" {
+		sp.Protocol.Name = experiment.ProtoPAS // materialize the default into the key
+	}
+	return sp, nil
+}
+
+// timeout resolves the request deadline.
+func (s *Server) timeout(req simRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutSec > 0 {
+		d = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// resultKey derives the content address of a request: SHA-256 over the code
+// version, endpoint mode, canonical spec and seed list, hex-encoded. Two
+// requests share a key iff determinism guarantees they share a byte-
+// identical response body.
+func resultKey(version, mode string, canon []byte, seeds ...int64) string {
+	h := sha256.New()
+	io.WriteString(h, version)
+	h.Write([]byte{0})
+	io.WriteString(h, mode)
+	h.Write([]byte{0})
+	h.Write(canon)
+	h.Write([]byte{0})
+	var buf [8]byte
+	for _, seed := range seeds {
+		binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// deliver serves one simulation-backed request: result-store lookup, then
+// singleflight-collapsed compute under admission control and the request
+// deadline. compute must be a pure function of key — it runs at most once
+// per key across all concurrent callers.
+func (s *Server) deliver(w http.ResponseWriter, r *http.Request, d time.Duration, key string, compute func(ctx context.Context) ([]byte, error)) {
+	s.stats.requests.Add(1)
+	start := time.Now()
+	if body, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		s.writeBody(w, start, key, body, "hit")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	body, collapsed, err := s.flight.do(ctx, key, func() ([]byte, error) {
+		// Re-check under the flight: a previous flight for this key may have
+		// completed (and cached) between our cache miss and becoming leader.
+		// This re-check is what makes "simulations executed == distinct
+		// keys" exact rather than approximate.
+		if body, ok := s.cache.get(key); ok {
+			return body, nil
+		}
+		body, err := s.admitAndCompute(ctx, compute)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, body)
+		return body, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if collapsed {
+		s.stats.collapsed.Add(1)
+	}
+	s.stats.cacheMisses.Add(1)
+	s.writeBody(w, start, key, body, "miss")
+}
+
+// admitAndCompute applies backpressure around one simulation: a free slot in
+// the bounded admission queue or an immediate errSaturated, then a worker
+// slot (waiting under ctx), then the computation itself.
+func (s *Server) admitAndCompute(ctx context.Context, compute func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	defer func() { <-s.admit }()
+
+	s.stats.queued.Add(1)
+	select {
+	case s.work <- struct{}{}:
+	case <-ctx.Done():
+		s.stats.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+	s.stats.queued.Add(-1)
+	defer func() { <-s.work }()
+
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	s.stats.simulations.Add(1)
+	return compute(ctx)
+}
+
+// writeBody emits a stored/fresh result body verbatim. The cache disposition
+// travels in a header, never in the body, so hits stay byte-identical to the
+// miss that produced them.
+func (s *Server) writeBody(w http.ResponseWriter, start time.Time, key string, body []byte, disposition string) {
+	s.stats.lat.record(float64(time.Since(start)) / float64(time.Millisecond))
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", disposition)
+	h.Set("X-Result-Key", key)
+	w.Write(body)
+}
+
+// writeError maps an error to its HTTP status and a JSON body.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	status := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, errSaturated):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		s.stats.rejected.Add(1)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request deadline expired (or the client went away) before the
+		// simulation finished.
+		status = http.StatusGatewayTimeout
+		s.stats.deadlined.Add(1)
+	}
+	if status != http.StatusTooManyRequests && status != http.StatusGatewayTimeout {
+		s.stats.errored.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeRequest parses a simulation request body, rejecting unknown fields
+// so typos fail loudly (matching the scenario codec's discipline).
+func decodeRequest(r *http.Request) (simRequest, error) {
+	var req simRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, badRequest("decoding request: %v", err)
+	}
+	return req, nil
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress computation shared by every request that asked
+// for the same key while it ran.
+type flight struct {
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+}
+
+// flightGroup collapses concurrent duplicate work: the first caller for a key
+// becomes the leader and runs fn; followers arriving before the leader
+// finishes block on the shared flight instead of recomputing. Determinism
+// makes this sound — identical keys denote byte-identical results, so a
+// follower cannot observe a difference from having computed its own.
+//
+// The flight is keyed only while in progress (the leader deletes it when
+// done); completed results live in the content-addressed cache, which fn is
+// expected to consult first, closing the finished-but-just-evicted race by
+// recomputation rather than by blocking.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do returns fn's result for key, collapsing concurrent callers onto one
+// execution. collapsed reports whether this caller shared another caller's
+// flight. A follower whose ctx dies while waiting unblocks with ctx.Err();
+// the leader itself always runs fn to completion under its own ctx, so one
+// impatient follower cannot poison the shared result.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, collapsed bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.body, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.body, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.body, false, f.err
+}

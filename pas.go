@@ -65,6 +65,34 @@
 // knob is exposed as -parallel on the pasbench and passim CLIs, and as
 // ReplicateParallel in this package.
 //
+// # Serving
+//
+// cmd/passerve runs the reproduction as a long-lived simulation service: an
+// HTTP/JSON daemon (internal/serve, exported here as Server/NewServer) that
+// schedules runs on a bounded worker pool and answers repeated questions
+// from a process-wide content-addressed result store. Determinism is what
+// makes the store sound: the same canonical spec and seed always produce
+// byte-identical output, so results are keyed by SHA-256 over (code version,
+// endpoint mode, canonical spec JSON, seed list) and every spelling of the
+// same workload — registry name, inline spec, defaults spelled out — shares
+// one cache line. CanonicalScenario produces that canonical encoding (sorted
+// keys, defaults materialized, kind-irrelevant fields zeroed) and
+// ScenarioHash its content hash. Concurrent identical requests collapse onto
+// one in-flight simulation (singleflight); distinct requests queue up to a
+// bounded depth and are rejected with 429 beyond it; every request runs
+// under a deadline (504 on expiry):
+//
+//	POST /v1/runs       {"name":"paper","seed":1}         one simulation
+//	POST /v1/replicate  {"name":"paper","seeds":[1,2,3]}  seed aggregate
+//	GET  /v1/scenarios                                    registry + hashes
+//	GET  /v1/stats                                        hit rate, p50/p99, queue
+//	GET  /v1/healthz                                      liveness
+//
+// Cancellation plumbs all the way into the event kernel: RunContext,
+// ReplicateContext and ReplicateParallelContext stop between kernel slices
+// when their context dies, and produce byte-identical results to the
+// context-free forms when left to finish.
+//
 // # Performance
 //
 // The run path is engineered for zero steady-state allocations and no
@@ -132,12 +160,13 @@
 //
 // The module is named repro. The public API lives in this root package;
 // cmd/passim (single runs), cmd/pasbench (figure regeneration), cmd/pasviz
-// (ASCII animation) and cmd/benchcheck (benchmark-baseline comparison) are
-// the CLIs; examples/ holds runnable walkthroughs. The simulation substrate
-// is under internal/: sim (event kernel), node/radio/energy (the mote
-// model), core/sas/baseline (the protocols), diffusion/geom (stimulus front
-// models), deploy, rng, metrics, stats, contour, trace, and runner (the
-// parallel replication engine) — experiment ties them into the replicated
+// (ASCII animation), cmd/passerve (the simulation service) and
+// cmd/benchcheck (benchmark-baseline comparison) are the CLIs; examples/
+// holds runnable walkthroughs. The simulation substrate is under internal/:
+// sim (event kernel), node/radio/energy (the mote model), core/sas/baseline
+// (the protocols), diffusion/geom (stimulus front models), deploy, rng,
+// metrics, stats, contour, trace, runner (the parallel replication engine)
+// and serve (the HTTP service) — experiment ties them into the replicated
 // harness.
 //
 // # Local verification
@@ -157,6 +186,7 @@
 package pas
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -173,6 +203,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sas"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -239,10 +270,24 @@ type (
 // Run executes one simulation and returns its metrics.
 func Run(cfg RunConfig) (RunReport, error) { return experiment.RunOnce(cfg) }
 
+// RunContext is Run with cooperative cancellation: the context is checked
+// before the network builds and between kernel slices while the simulation
+// runs, so a cancelled or expired context stops the run within a fraction of
+// its horizon. A run left to complete is byte-identical to Run.
+func RunContext(ctx context.Context, cfg RunConfig) (RunReport, error) {
+	return experiment.RunOnceContext(ctx, cfg)
+}
+
 // Replicate runs cfg once per seed and aggregates the headline metrics.
 // Replication is serial; ReplicateParallel fans the runs out.
 func Replicate(cfg RunConfig, seeds []int64) (Aggregate, error) {
 	return experiment.Replicate(cfg, seeds)
+}
+
+// ReplicateContext is Replicate with cooperative cancellation between (and
+// inside) the per-seed runs.
+func ReplicateContext(ctx context.Context, cfg RunConfig, seeds []int64) (Aggregate, error) {
+	return experiment.ReplicateContext(ctx, cfg, seeds)
 }
 
 // ReplicateParallel runs cfg once per seed across a worker pool
@@ -251,6 +296,13 @@ func Replicate(cfg RunConfig, seeds []int64) (Aggregate, error) {
 // any parallelism.
 func ReplicateParallel(cfg RunConfig, seeds []int64, parallelism int) (Aggregate, error) {
 	return experiment.ReplicateParallel(cfg, seeds, parallelism)
+}
+
+// ReplicateParallelContext is ReplicateParallel with cooperative
+// cancellation: the pool stops claiming seeds once ctx dies and in-flight
+// runs stop at their next kernel slice.
+func ReplicateParallelContext(ctx context.Context, cfg RunConfig, seeds []int64, parallelism int) (Aggregate, error) {
+	return experiment.ReplicateParallelContext(ctx, cfg, seeds, parallelism)
 }
 
 // Seeds returns n deterministic replication seeds (1..n).
@@ -352,6 +404,17 @@ func RunConfigFromScenario(sp ScenarioSpec, seed int64) (RunConfig, error) {
 func ScenarioSweepExperiment(name string) (Experiment, error) {
 	return experiment.ScenarioSweep(name)
 }
+
+// CanonicalScenario returns the spec's canonical JSON encoding: validated,
+// defaults materialized, kind-irrelevant fields zeroed, keys sorted. Two
+// specs describing the same simulation canonicalize to identical bytes —
+// the basis of the serving layer's content-addressed result store.
+func CanonicalScenario(sp ScenarioSpec) ([]byte, error) { return scenario.Canonical(sp) }
+
+// ScenarioHash returns the hex SHA-256 of the spec's canonical encoding —
+// the content hash GET /v1/scenarios lists and the run/replicate cache keys
+// build on.
+func ScenarioHash(sp ScenarioSpec) (string, error) { return scenario.Hash(sp) }
 
 // ScenarioNames lists the registry scenarios accepted by ScenarioByName and
 // the CLIs' -scenario flags.
@@ -491,3 +554,20 @@ func ContourAreaError(est *ContourEstimator, stim Stimulus, field Rect, t float6
 	st := rng.NewSource(seed).Stream("contour-mc")
 	return contour.AreaError(est.EstimateHull(t), stim, field, t, samples, st)
 }
+
+// Simulation service (cmd/passerve).
+type (
+	// ServeConfig tunes the simulation service (workers, queue depth,
+	// deadlines, result-store capacity); the zero value serves with
+	// defaults.
+	ServeConfig = serve.Config
+	// Server is the simulation-service HTTP handler: a bounded worker pool
+	// over the experiment harness with a content-addressed result store.
+	Server = serve.Server
+	// ServeStats is the wire shape of GET /v1/stats.
+	ServeStats = serve.Stats
+)
+
+// NewServer builds the simulation-service handler; mount it on any
+// http.Server (cmd/passerve wires listening and graceful shutdown).
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
