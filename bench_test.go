@@ -476,6 +476,41 @@ func BenchmarkScale10kColdStart(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultChurn times a 10 000-node PAS run with 20% crash-recovery
+// churn and the sink-side liveness tracker on — the fault-injection worst
+// case: Fail/Recover events, deaf-window bookkeeping, per-suspect backoff
+// timers and the graceful-degradation metrics pass all ride on top of the
+// BenchmarkScale10k workload. The gap against BenchmarkScale10k is the total
+// cost of the fault subsystem at scale; the fixed seed keeps the memoized
+// deployment/topology engaged, and the frozen CSR topology must survive the
+// churn (rejoin is a radio-state change, never a recompile).
+func BenchmarkFaultChurn(b *testing.B) {
+	sp, ok := pas.LookupScenario("scale-10k")
+	if !ok {
+		b.Fatal("scale-10k missing from the registry")
+	}
+	sp.Failures = pas.FailureSpec{Churn: &pas.ChurnSpec{Fraction: 0.2, MeanDown: 20, MinDown: 5}}
+	sp.Protocol.Liveness = &pas.LivenessSpec{MissK: 3, Interval: 5}
+	cfg, err := pas.RunConfigFromScenario(sp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Protocol = pas.ProtoPAS
+	var rep pas.RunReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep, err = pas.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rep.LiveFraction >= 1 || rep.LiveFraction <= 0 {
+		b.Fatalf("live fraction %g: churn did not engage", rep.LiveFraction)
+	}
+	b.ReportMetric(rep.LiveFraction, "live-frac")
+}
+
 func BenchmarkSASSingleRun(b *testing.B) {
 	sc := pas.PaperScenario()
 	b.ResetTimer()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/node"
 	"repro/internal/radio"
@@ -38,6 +39,11 @@ type Agent struct {
 	decision       sim.Timer // end of a REQUEST's response window
 	reassess       sim.Timer // alert-state periodic re-evaluation
 	coveredTimeout sim.Timer // covered → safe after the stimulus leaves
+
+	// Liveness tracking (nil/unarmed unless cfg.Liveness is enabled, so the
+	// fault-free path pays nothing).
+	live     *fault.Liveness
+	liveTick sim.Timer
 
 	detected   bool
 	detectedAt float64
@@ -147,9 +153,34 @@ func agentStaggerSend(_ *sim.Kernel, arg any) {
 	}
 }
 
+// agentLivenessTick is the periodic liveness scan: advance the tracker and,
+// when a suspect peer's backoff expired, broadcast one re-probe REQUEST
+// (charging its transmit energy to the probe budget). The timer re-arms
+// through ResetArg every tick — no per-event closures — and keeps ticking
+// across sleep and churn outages (the handler only acts while awake).
+func agentLivenessTick(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	if n.IsAwake() && a.live.Tick(n.Now()) {
+		before := n.Meter().Breakdown().TxJ
+		n.Broadcast(Request{}.Envelope())
+		a.live.AddProbeEnergy(n.Meter().Breakdown().TxJ - before)
+	}
+	a.liveTick.ResetArg(a.cfg.Liveness.Interval, agentLivenessTick, a)
+}
+
 // Predicted returns the agent's current absolute arrival prediction (+Inf
 // when unknown); exposed for tests and the visualizer.
 func (a *Agent) Predicted() float64 { return a.predicted }
+
+// LivenessStats snapshots the liveness tracker (zero value when tracking is
+// disabled). Metrics collectors reach it through node.Agent type assertion.
+func (a *Agent) LivenessStats() fault.LivenessStats {
+	if a.live == nil {
+		return fault.LivenessStats{}
+	}
+	return a.live.Stats()
+}
 
 // Velocity returns the agent's current spreading-velocity estimate.
 func (a *Agent) Velocity() (geom.Vec2, bool) { return a.velocity, a.hasVelocity }
@@ -162,6 +193,11 @@ func (a *Agent) Init(n *node.Node) {
 	a.decision.Bind(n.Kernel())
 	a.reassess.Bind(n.Kernel())
 	a.coveredTimeout.Bind(n.Kernel())
+	if a.cfg.Liveness.Enabled() {
+		a.live = fault.NewLiveness(a.cfg.Liveness)
+		a.liveTick.Bind(n.Kernel())
+		a.liveTick.ResetArg(a.cfg.Liveness.Interval, agentLivenessTick, a)
+	}
 	n.SetState(node.StateSafe)
 	a.probe(n)
 }
@@ -256,6 +292,10 @@ func (a *Agent) OnStimulusGone(n *node.Node) {
 // boxed Request/Response accepted through the KindExt fallback so hand-wired
 // tests and extensions keep working.
 func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, env radio.Envelope) {
+	if a.live != nil {
+		// Any message is life evidence, whatever its kind.
+		a.live.Observe(from, n.Now())
+	}
 	switch env.Kind {
 	case radio.KindRequest:
 		a.handleRequest(n)

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
 
 // Config holds the PAS tunables. The two the paper sweeps are
 // AlertThreshold (Figs. 5 and 7) and SleepMax (Figs. 4 and 6).
@@ -48,6 +52,11 @@ type Config struct {
 	// DisableExpectedVelocity stops alert nodes from computing/propagating
 	// expected velocities (estimator ablation: actual-velocity only).
 	DisableExpectedVelocity bool
+	// Liveness, when enabled (MissK > 0), gives the node a sink-side peer
+	// liveness tracker: peers silent for MissK×Interval are re-probed with
+	// capped exponential backoff and eventually declared dead. The zero
+	// value disables tracking at zero cost.
+	Liveness fault.LivenessConfig
 	// Hook, when non-nil, receives agent-internal events for tracing,
 	// debugging and the visualizer. It adds no overhead when nil.
 	Hook *Hook
@@ -109,6 +118,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: sleep jitter %g outside [0, 0.9]", c.SleepJitter)
 	case c.MinVelocityDt < 0:
 		return fmt.Errorf("core: negative minimum velocity dt %g", c.MinVelocityDt)
+	}
+	if err := c.Liveness.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// TestAgentLivenessDeclaresSilentPeer mirrors the SAS liveness test for the
+// PAS agent: a covered (always-awake) node observes one neighbour, the
+// neighbour crashes, and the liveness tick must suspect, re-probe with
+// backoff, and declare it dead — all through the real timer path.
+func TestAgentLivenessDeclaresSilentPeer(t *testing.T) {
+	k, m := rig()
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 1, 0) // covers node 0 from t=0
+	cfg := testConfig()
+	cfg.Liveness = fault.LivenessConfig{
+		MissK: 1, Interval: 1, BackoffInit: 1, BackoffMax: 2, MaxProbes: 2,
+	}
+	agent := New(cfg)
+	n := addNode(k, m, 0, geom.V(0, 0), stim, agent)
+	peer := &stubAgent{}
+	pn := addNode(k, m, 1, geom.V(5, 0), stim, peer)
+	k.Schedule(0.2, func(*sim.Kernel) { pn.Broadcast(Request{}.Envelope()) })
+	pn.FailAt(0.5)
+	n.Start()
+	pn.Start()
+	k.RunUntil(8)
+
+	st := agent.LivenessStats()
+	if st.Peers != 1 {
+		t.Fatalf("Peers = %d, want 1", st.Peers)
+	}
+	if st.Probes != 2 {
+		t.Errorf("Probes = %d, want 2 (suspicion probe + one backed-off re-probe)", st.Probes)
+	}
+	if len(st.Declared) != 1 {
+		t.Fatalf("Declared = %v, want exactly one declaration", st.Declared)
+	}
+	d := st.Declared[0]
+	if d.ID != 1 {
+		t.Errorf("declared peer %d, want 1", d.ID)
+	}
+	if d.At < 4 || d.At > 6 {
+		t.Errorf("declared at t=%v, want ~5", d.At)
+	}
+}
+
+// TestAgentLivenessStatsZeroWhenDisabled pins the nil-tracker snapshot.
+func TestAgentLivenessStatsZeroWhenDisabled(t *testing.T) {
+	agent := New(testConfig())
+	st := agent.LivenessStats()
+	if st.Peers != 0 || st.Probes != 0 || st.ProbeJ != 0 || len(st.Declared) != 0 {
+		t.Errorf("disabled liveness stats = %+v, want zero value", st)
+	}
+}
+
+// TestNewSlabFallsBackPastCapacity exercises the slab factory: in-slab
+// agents while capacity lasts, heap fallback after, and both functional.
+func TestNewSlabFallsBackPastCapacity(t *testing.T) {
+	factory := NewSlab(testConfig(), 1)
+	a1 := factory()
+	a2 := factory()
+	if a1 == nil || a2 == nil {
+		t.Fatal("slab factory returned nil agent")
+	}
+	if a1 == a2 {
+		t.Fatal("slab factory returned the same agent twice")
+	}
+	k, m := rig()
+	stim := farStimulus()
+	n1 := addNode(k, m, 0, geom.V(0, 0), stim, a1)
+	n2 := addNode(k, m, 1, geom.V(5, 0), stim, a2)
+	n1.Start()
+	n2.Start()
+	k.RunUntil(5)
+	if n1.Now() != 5 || n2.Now() != 5 {
+		t.Errorf("slab agents stalled: clocks %v, %v, want 5", n1.Now(), n2.Now())
+	}
+}
+
+// TestNewSlabPanicsOnInvalidConfig pins the eager validation in the factory.
+func TestNewSlabPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSlab accepted an invalid config without panicking")
+		}
+	}()
+	bad := testConfig()
+	bad.SleepInit = -1
+	NewSlab(bad, 1)
+}

@@ -223,6 +223,27 @@ func (m *Meter) Close(now float64) {
 	m.closed = true
 }
 
+// Reopen resumes accounting on a closed meter at virtual time now in the
+// given mode, preserving all accumulated totals — the churn-recovery
+// counterpart of Close (a failed node's meter closes at failure and reopens
+// at reboot; the outage itself draws nothing). Reopening into active mode
+// charges the profile's wakeup energy: a reboot costs at least a wake-up.
+func (m *Meter) Reopen(now float64, mode Mode) {
+	if !m.closed {
+		panic("energy: Reopen on open meter")
+	}
+	if now < m.since {
+		panic(fmt.Sprintf("energy: Reopen at %v before close time %v", now, m.since))
+	}
+	m.closed = false
+	m.since = now
+	m.mode = mode
+	if mode == ModeActive {
+		m.wakeJ += m.profile.WakeupJ
+		m.wakeups++
+	}
+}
+
 // TotalJ returns the total energy consumed so far in joules.
 func (m *Meter) TotalJ() float64 {
 	var t float64

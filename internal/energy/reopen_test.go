@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeterReopenPreservesTotals(t *testing.T) {
+	p := Telos()
+	m := NewMeter(p, 0, ModeActive)
+	m.Close(10)
+	closedTotal := m.TotalJ()
+	if closedTotal != 10*p.ActiveW() {
+		t.Fatalf("TotalJ at close = %v, want %v", closedTotal, 10*p.ActiveW())
+	}
+	// Outage from t=10 to t=25 draws nothing; reopening into active charges
+	// one wakeup (a reboot costs at least a wake-up).
+	m.Reopen(25, ModeActive)
+	if got := m.TotalJ(); math.Abs(got-(closedTotal+p.WakeupJ)) > 1e-12 {
+		t.Errorf("TotalJ after reopen = %v, want %v", got, closedTotal+p.WakeupJ)
+	}
+	m.Close(30)
+	b := m.Breakdown()
+	if math.Abs(b.ActiveSec-15) > 1e-12 {
+		t.Errorf("ActiveSec = %v, want 15 (outage must not accrue)", b.ActiveSec)
+	}
+	if b.Wakeups != 1 {
+		t.Errorf("Wakeups = %d, want 1", b.Wakeups)
+	}
+}
+
+func TestMeterReopenIntoSleepIsFree(t *testing.T) {
+	m := NewMeter(Telos(), 0, ModeSleep)
+	m.Close(5)
+	before := m.TotalJ()
+	m.Reopen(8, ModeSleep)
+	if m.TotalJ() != before {
+		t.Errorf("reopening into sleep charged energy: %v -> %v", before, m.TotalJ())
+	}
+	if m.Mode() != ModeSleep {
+		t.Errorf("Mode = %v, want sleep", m.Mode())
+	}
+}
+
+func TestMeterReopenPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	open := NewMeter(Telos(), 0, ModeActive)
+	mustPanic("Reopen on open meter", func() { open.Reopen(1, ModeActive) })
+	closed := NewMeter(Telos(), 0, ModeActive)
+	closed.Close(10)
+	mustPanic("Reopen before close time", func() { closed.Reopen(9, ModeActive) })
+}
+
+func TestMeterTotalAtJProjectsWithoutMutating(t *testing.T) {
+	p := Telos()
+	m := NewMeter(p, 0, ModeActive)
+	m.SetMode(4, ModeSleep)
+	want := 4*p.ActiveW() + p.WakeupJ*0 + 6*p.SleepW() // no wakeup: started active
+	if got := m.TotalAtJ(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalAtJ(10) = %v, want %v", got, want)
+	}
+	// Projection must not move the accrual point.
+	if got := m.TotalAtJ(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("second TotalAtJ(10) = %v, want %v (projection mutated meter)", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TotalAtJ before last accrual did not panic")
+		}
+	}()
+	m.TotalAtJ(3)
+}
+
+func TestMeterCurrentDrawW(t *testing.T) {
+	p := Telos()
+	m := NewMeter(p, 0, ModeActive)
+	if got := m.CurrentDrawW(); got != p.ActiveW() {
+		t.Errorf("active draw = %v, want %v", got, p.ActiveW())
+	}
+	m.SetMode(1, ModeSleep)
+	if got := m.CurrentDrawW(); got != p.SleepW() {
+		t.Errorf("sleep draw = %v, want %v", got, p.SleepW())
+	}
+}

@@ -102,7 +102,7 @@ func TestDefaultSeeds(t *testing.T) {
 
 func TestLookupAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
+	if len(all) != 18 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	ids := map[string]bool{}

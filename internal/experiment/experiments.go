@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"ext-contour", "Extension: covered-area estimation error (monitoring efficacy)", ExtContour},
 		{"ext-terrain", "Extension: protocols on the heterogeneous-terrain (eikonal) front", ExtTerrain},
 		{"ext-scale", "Extension: production-scale deployments (100/1k/10k nodes)", ExtScale},
+		{"ext-faults", "Extension: fault injection — churn, miscalibration, radio fading", ExtFaults},
 	}
 }
 

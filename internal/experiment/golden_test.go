@@ -18,11 +18,13 @@ var update = flag.Bool("update", false, "rewrite the golden trace snapshots unde
 
 // goldenExperiments are the snapshot-pinned experiments: a paper figure,
 // two structurally different extensions (ext-plume shares one PDE scenario
-// across workers; ext-lifetime aggregates a censored lifetime metric), and
-// the lossy+collisions+CSMA channel so every consumer of channel randomness
+// across workers; ext-lifetime aggregates a censored lifetime metric), the
+// lossy+collisions+CSMA channel so every consumer of channel randomness
 // — per-link loss draws, collision windows, CSMA backoffs — is trace-pinned
-// against the frozen CSR candidate rows.
-var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime", "ext-lossy-csma"}
+// against the frozen CSR candidate rows, and the fault-injection sweep so
+// every fault stream (churn, sensor miscalibration, degradation windows,
+// liveness probing) is pinned serial-vs-parallel too.
+var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime", "ext-lossy-csma", "ext-faults"}
 
 // goldenOptions is the fixed configuration every snapshot is generated and
 // checked with (Quick sweep, 3 seeds); parallelism is set per run.

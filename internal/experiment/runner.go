@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diffusion"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/radio"
@@ -60,6 +61,11 @@ type RunConfig struct {
 	// [0, FailBy] (FailBy 0 = the horizon).
 	FailFraction float64
 	FailBy       float64
+	// Faults, when non-nil, is a compiled extended fault plan (churn, sensor
+	// miscalibration, clustered/windowed crashes, radio degradation) applied
+	// after network construction. Nil keeps the exact fault-free (or legacy
+	// FailFraction) code path.
+	Faults *fault.Plan
 	// BatteryJ, when positive, gives every node a finite energy budget in
 	// joules; nodes die when they exhaust it (the lifetime experiments).
 	BatteryJ float64
@@ -134,6 +140,14 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 	if loss == nil {
 		loss = radio.UnitDisk{Range: rc.Range}
 	}
+	// Radio degradation wraps the loss model per run (the wrapper holds a
+	// per-run stream and clock); MaxRange delegates to the base model, so the
+	// memoized topology below is shared with undegraded cells.
+	var degraded *fault.DegradedLoss
+	if rc.Faults != nil && rc.Faults.Degrade.Loss > 0 {
+		degraded = fault.NewDegradedLoss(loss, rc.Faults.Degrade, src.Stream("fault/degrade"))
+		loss = degraded
+	}
 	// The CSR connectivity is memoized alongside the deployment: every cell
 	// sharing (deployment, loss range) hands the medium one precompiled
 	// topology instead of re-freezing it per protocol × seed (see
@@ -165,6 +179,12 @@ func Build(rc RunConfig) (*node.Network, RunConfig, error) {
 		for _, idx := range st.Perm(len(nw.Nodes))[:kill] {
 			nw.Nodes[idx].FailAt(st.Uniform(0, failBy))
 		}
+	}
+	if degraded != nil {
+		degraded.Bind(nw.Kernel)
+	}
+	if rc.Faults != nil {
+		rc.Faults.Apply(src, nw.Nodes)
 	}
 	return nw, rc, nil
 }

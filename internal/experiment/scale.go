@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/radio"
 	"repro/internal/runner"
@@ -28,16 +29,23 @@ func FromScenario(sp scenario.Scenario, seed int64) (RunConfig, error) {
 		return RunConfig{}, err
 	}
 	rc := RunConfig{
-		Scenario:     ds,
-		Nodes:        sp.Nodes,
-		Range:        sp.Radio.Range,
-		Deploy:       sp.Deployment,
-		Protocol:     sp.Protocol.Name,
-		Seed:         seed,
-		Loss:         loss,
-		Collisions:   sp.Radio.Collisions,
-		FailFraction: sp.Failures.Fraction,
-		FailBy:       sp.Failures.By,
+		Scenario:   ds,
+		Nodes:      sp.Nodes,
+		Range:      sp.Radio.Range,
+		Deploy:     sp.Deployment,
+		Protocol:   sp.Protocol.Name,
+		Seed:       seed,
+		Loss:       loss,
+		Collisions: sp.Radio.Collisions,
+	}
+	if fault.Extended(sp.Failures) {
+		// Extended fault models compile into a plan; the legacy FailFraction
+		// fields stay zero so Build's old kill loop is skipped and the plan's
+		// crash sub-model (byte-compatible for pure uniform kills) takes over.
+		rc.Faults = fault.Compile(sp.Failures, sp.Horizon)
+	} else {
+		rc.FailFraction = sp.Failures.Fraction
+		rc.FailBy = sp.Failures.By
 	}
 	if sp.Radio.CSMA {
 		csma := radio.DefaultCSMA()
@@ -59,6 +67,17 @@ func FromScenario(sp scenario.Scenario, seed int64) (RunConfig, error) {
 	if t := sp.Protocol.AlertThreshold; t > 0 {
 		rc.PAS.AlertThreshold = t
 		rc.SAS.AlertThreshold = t
+	}
+	if lv := sp.Protocol.Liveness; lv != nil {
+		lc := fault.LivenessConfig{
+			MissK:       lv.MissK,
+			Interval:    lv.Interval,
+			BackoffInit: lv.BackoffInit,
+			BackoffMax:  lv.BackoffMax,
+			MaxProbes:   lv.MaxProbes,
+		}.WithDefaults()
+		rc.PAS.Liveness = lc
+		rc.SAS.Liveness = lc
 	}
 	return rc, nil
 }

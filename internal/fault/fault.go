@@ -1,0 +1,218 @@
+// Package fault is the deterministic fault-injection subsystem of the PAS
+// reproduction. A scenario's FailureSpec compiles (Compile) into a pure-data
+// Plan; applying the plan to a built network (Plan.Apply) schedules
+// crash-stop kills (time-windowed, optionally spatially clustered),
+// crash-recovery churn (nodes go dark and rejoin — reusing the frozen
+// network topology, since positions never change), and installs sensor
+// miscalibration models (additive drift, stuck-at, burst noise) between
+// stimulus and reading. Radio degradation windows wrap the channel loss
+// model (DegradedLoss).
+//
+// Every random draw comes from a named rng stream ("failures" for the
+// legacy uniform crash case — byte-compatible with the pre-fault kill loop —
+// and "fault/crash", "fault/churn", "fault/sensor" plus per-node
+// StreamN("fault/sensor", id) for the extensions), so faulted runs stay
+// byte-identical whether replicated serially or in parallel.
+//
+// The package also hosts the sink-side liveness tracker (Liveness) the
+// PAS/SAS agents embed: after MissK missed report intervals a peer is
+// suspect and re-probed with capped exponential backoff before being
+// declared dead.
+package fault
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// Plan is a compiled fault schedule: pure data, safe to share across
+// replicated runs (Apply draws per-run randomness from the run's source).
+type Plan struct {
+	// Horizon is the simulated duration the windows were materialized
+	// against.
+	Horizon float64
+	// Crash, Churn, Sensor and Degrade are the per-model schedules; a zero
+	// Fraction (or Loss) disables the model.
+	Crash   CrashPlan
+	Churn   ChurnPlan
+	Sensor  SensorPlan
+	Degrade DegradePlan
+}
+
+// CrashPlan kills Fraction of the nodes at uniform times in [From, By]. A
+// positive ClusterRadius selects the victims nearest a random epicentre
+// (within the radius) instead of uniformly at random.
+type CrashPlan struct {
+	Fraction      float64
+	From          float64
+	By            float64
+	ClusterRadius float64
+}
+
+// ChurnPlan takes Fraction of the nodes down at a uniform time in
+// [Start, By] for MinDown plus an exponential draw with mean MeanDown
+// seconds, then recovers them in place.
+type ChurnPlan struct {
+	Fraction float64
+	MeanDown float64
+	MinDown  float64
+	Start    float64
+	By       float64
+}
+
+// SensorPlan miscalibrates Fraction of the nodes; see SensorState.
+type SensorPlan struct {
+	Fraction  float64
+	Drift     float64
+	Stuck     float64
+	BurstRate float64
+	BurstLen  float64
+}
+
+// DegradePlan layers an extra per-delivery drop probability Loss on the
+// channel during [Start, End]; see DegradedLoss.
+type DegradePlan struct {
+	Start float64
+	End   float64
+	Loss  float64
+}
+
+// Extended reports whether the spec uses any fault model beyond the legacy
+// uniform crash-stop kill — the routing predicate the experiment harness
+// uses to decide between the byte-compatible legacy path and Compile.
+func Extended(f scenario.FailureSpec) bool { return f.Extended() }
+
+// Compile materializes a FailureSpec into a Plan against the given horizon:
+// zero window ends default to the horizon, mirroring the spec's canonical
+// normalization, so a spec and its canonical form compile identically.
+func Compile(f scenario.FailureSpec, horizon float64) *Plan {
+	p := &Plan{Horizon: horizon}
+	if f.Fraction > 0 {
+		p.Crash = CrashPlan{Fraction: f.Fraction, From: f.From, By: f.By, ClusterRadius: f.ClusterRadius}
+		if p.Crash.By == 0 {
+			p.Crash.By = horizon
+		}
+	}
+	if c := f.Churn; c != nil && c.Fraction > 0 {
+		p.Churn = ChurnPlan{Fraction: c.Fraction, MeanDown: c.MeanDown, MinDown: c.MinDown, Start: c.Start, By: c.By}
+		if p.Churn.By == 0 {
+			p.Churn.By = horizon
+		}
+	}
+	if s := f.Sensor; s != nil && s.Fraction > 0 {
+		p.Sensor = SensorPlan{Fraction: s.Fraction, Drift: s.Drift, Stuck: s.Stuck, BurstRate: s.BurstRate, BurstLen: s.BurstLen}
+	}
+	if d := f.Radio; d != nil && d.Loss > 0 {
+		p.Degrade = DegradePlan{Start: d.Start, End: d.End, Loss: d.Loss}
+		if p.Degrade.End == 0 {
+			p.Degrade.End = horizon
+		}
+	}
+	return p
+}
+
+// Apply draws the plan's per-run randomness from src and schedules every
+// fault on the built nodes. Call after node construction, before the run.
+// Radio degradation is not applied here — it wraps the loss model at build
+// time (NewDegradedLoss), before the network exists.
+func (p *Plan) Apply(src *rng.Source, nodes []*node.Node) {
+	p.applyCrash(src, nodes)
+	p.applyChurn(src, nodes)
+	p.applySensor(src, nodes)
+}
+
+// fraction rounds a node-count fraction the way the legacy kill loop always
+// has.
+func fraction(f float64, n int) int {
+	k := int(math.Round(f * float64(n)))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+func (p *Plan) applyCrash(src *rng.Source, nodes []*node.Node) {
+	c := p.Crash
+	if c.Fraction <= 0 {
+		return
+	}
+	n := len(nodes)
+	kill := fraction(c.Fraction, n)
+	if c.From == 0 && c.ClusterRadius == 0 {
+		// Pure uniform kill: the legacy path, stream-for-stream identical to
+		// the pre-fault harness so old scenarios keep their golden traces.
+		st := src.Stream("failures")
+		for _, idx := range st.Perm(n)[:kill] {
+			nodes[idx].FailAt(st.Uniform(0, c.By))
+		}
+		return
+	}
+	st := src.Stream("fault/crash")
+	if c.ClusterRadius > 0 {
+		// Spatially clustered kill: the victims are the nodes nearest a
+		// random epicentre, restricted to the radius.
+		center := nodes[st.Intn(n)].Pos()
+		type cand struct {
+			d   float64
+			idx int
+		}
+		cands := make([]cand, 0, n)
+		for i, nd := range nodes {
+			if d := nd.Pos().Dist(center); d <= c.ClusterRadius {
+				cands = append(cands, cand{d, i})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		if len(cands) > kill {
+			cands = cands[:kill]
+		}
+		for _, cd := range cands {
+			nodes[cd.idx].FailAt(st.Uniform(c.From, c.By))
+		}
+		return
+	}
+	for _, idx := range st.Perm(n)[:kill] {
+		nodes[idx].FailAt(st.Uniform(c.From, c.By))
+	}
+}
+
+func (p *Plan) applyChurn(src *rng.Source, nodes []*node.Node) {
+	c := p.Churn
+	if c.Fraction <= 0 {
+		return
+	}
+	n := len(nodes)
+	by := c.By
+	if by < c.Start {
+		by = c.Start
+	}
+	st := src.Stream("fault/churn")
+	for _, idx := range st.Perm(n)[:fraction(c.Fraction, n)] {
+		start := st.Uniform(c.Start, by)
+		down := c.MinDown + st.Exponential(c.MeanDown)
+		nodes[idx].FailAt(start)
+		nodes[idx].RecoverAt(start + down)
+	}
+}
+
+func (p *Plan) applySensor(src *rng.Source, nodes []*node.Node) {
+	s := p.Sensor
+	if s.Fraction <= 0 {
+		return
+	}
+	n := len(nodes)
+	st := src.Stream("fault/sensor")
+	for _, idx := range st.Perm(n)[:fraction(s.Fraction, n)] {
+		nd := nodes[idx]
+		nd.SetSensor(NewSensorState(s, p.Horizon, src.StreamN("fault/sensor", int(nd.ID()))))
+	}
+}

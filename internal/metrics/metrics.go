@@ -10,9 +10,17 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/stats"
 )
+
+// livenessReporter is implemented by agents that carry a sink-side liveness
+// tracker (PAS/SAS); Collect type-asserts it to gather graceful-degradation
+// metrics without the node package knowing about protocols.
+type livenessReporter interface {
+	LivenessStats() fault.LivenessStats
+}
 
 // NodeReport is the per-node outcome of one simulation run.
 type NodeReport struct {
@@ -62,14 +70,34 @@ type RunReport struct {
 	// FirstDeath is the earliest such instant (+Inf when none died).
 	BatteryDeaths int
 	FirstDeath    float64
+
+	// Graceful-degradation measures (fault-injection runs; LiveFraction is
+	// 1 and the rest zero on the fault-free path).
+	//
+	// LiveFraction is the time-averaged fraction of nodes up over the
+	// horizon.
+	LiveFraction float64
+	// Probes counts liveness re-probe broadcasts across all sinks and
+	// ProbeEnergyJ the transmit energy they cost.
+	Probes       int
+	ProbeEnergyJ float64
+	// FalseDead counts death declarations for nodes that were actually up
+	// at declaration time (churn rejoined, or merely silent).
+	FalseDead int
+	// DeclaredDead counts all death declarations; StaleAge is the mean
+	// At−LastHeard staleness over them (0 when none).
+	DeclaredDead int
+	StaleAge     float64
 }
 
 // Collect builds a RunReport from a finished network. Horizon must match the
 // Run horizon so residency fractions are meaningful.
 func Collect(nodes []*node.Node, horizon float64) RunReport {
-	rep := RunReport{Horizon: horizon, FirstDeath: math.Inf(1)}
+	rep := RunReport{Horizon: horizon, FirstDeath: math.Inf(1), LiveFraction: 1}
 	var delays []float64
 	var energySum, dutySum float64
+	var downSum, staleSum float64
+	var byID map[int]*node.Node // lazy: only fault runs with declarations pay for it
 	for _, n := range nodes {
 		res := n.StateResidency()
 		b := n.Meter().Breakdown()
@@ -110,7 +138,32 @@ func Collect(nodes []*node.Node, horizon float64) RunReport {
 		rep.Messages += nr.TxCount
 		energySum += nr.EnergyJ
 		dutySum += nr.DutyCycle
+		downSum += n.DownDuring(horizon)
+		if lr, ok := n.Agent().(livenessReporter); ok {
+			ls := lr.LivenessStats()
+			rep.Probes += ls.Probes
+			rep.ProbeEnergyJ += ls.ProbeJ
+			if len(ls.Declared) > 0 && byID == nil {
+				byID = make(map[int]*node.Node, len(nodes))
+				for _, m := range nodes {
+					byID[int(m.ID())] = m
+				}
+			}
+			for _, d := range ls.Declared {
+				rep.DeclaredDead++
+				staleSum += d.At - d.LastHeard
+				if peer, ok := byID[int(d.ID)]; ok && !peer.WasDownAt(d.At) {
+					rep.FalseDead++
+				}
+			}
+		}
 		rep.Nodes = append(rep.Nodes, nr)
+	}
+	if len(nodes) > 0 && horizon > 0 {
+		rep.LiveFraction = 1 - downSum/(horizon*float64(len(nodes)))
+	}
+	if rep.DeclaredDead > 0 {
+		rep.StaleAge = staleSum / float64(rep.DeclaredDead)
 	}
 	if len(delays) > 0 {
 		rep.AvgDelay = stats.Mean(delays)
@@ -176,6 +229,13 @@ type Aggregate struct {
 	// died (lifetime is then at least the horizon).
 	Deaths     stats.Accumulator
 	FirstDeath stats.Accumulator
+	// Graceful-degradation measures (see RunReport).
+	Live      stats.Accumulator
+	Probes    stats.Accumulator
+	Declared  stats.Accumulator
+	FalseDead stats.Accumulator
+	StaleAge  stats.Accumulator
+	ProbeJ    stats.Accumulator
 }
 
 // Add folds in one run.
@@ -192,6 +252,12 @@ func (a *Aggregate) Add(r RunReport) {
 	} else {
 		a.FirstDeath.Add(r.FirstDeath)
 	}
+	a.Live.Add(r.LiveFraction)
+	a.Probes.Add(float64(r.Probes))
+	a.Declared.Add(float64(r.DeclaredDead))
+	a.FalseDead.Add(float64(r.FalseDead))
+	a.StaleAge.Add(r.StaleAge)
+	a.ProbeJ.Add(r.ProbeEnergyJ)
 }
 
 // N returns the number of runs folded in.

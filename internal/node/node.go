@@ -74,6 +74,24 @@ type Departer interface {
 	DepartureTime(p geom.Vec2) float64
 }
 
+// SensorModel transforms ground-truth coverage into what a (possibly
+// miscalibrated) sensor actually reads. internal/fault implements it; a node
+// without one reads the stimulus directly.
+type SensorModel interface {
+	// Reading is the sensor output at time now given the true stimulus.
+	// Query times are non-decreasing within a run.
+	Reading(stim diffusion.Stimulus, pos geom.Vec2, now float64) bool
+	// SenseTimes lists extra instants the node should sample its sensor at
+	// (perceived arrival, noise-burst onsets, ...) beyond the ground-truth
+	// arrival event. Times in the past or at +Inf are ignored.
+	SenseTimes(stim diffusion.Stimulus, pos geom.Vec2) []float64
+}
+
+// Downtime is one closed outage interval of a churned node.
+type Downtime struct {
+	Start, End float64
+}
+
 // Node is one simulated sensor mote. Nodes embed their meter and timers by
 // value and schedule their callbacks as package-level arg handlers, so
 // BuildNetwork can slab-allocate thousands of them with O(1) allocations.
@@ -85,6 +103,7 @@ type Node struct {
 	stim   diffusion.Stimulus
 	meter  energy.Meter
 	agent  Agent
+	sensor SensorModel // nil = perfect sensor (the default)
 
 	state      State
 	awake      bool
@@ -106,6 +125,12 @@ type Node struct {
 	diedAt  float64
 	dead    bool // exhausted battery (distinct from injected failure)
 
+	// Churn bookkeeping: failedAt is the instant of the current (or last)
+	// failure; downs accumulates closed outage intervals on recovery, so the
+	// legacy crash-stop path (which never recovers) stays allocation-free.
+	failedAt float64
+	downs    []Downtime
+
 	// Observer hooks (optional; set by metrics/trace collectors).
 	onStateChange func(n *Node, old, new State)
 	onDetect      func(n *Node, delay float64)
@@ -125,11 +150,12 @@ type Config struct {
 // Package-level arg handlers for node callbacks: scheduling them with the
 // node as the event argument (a pointer, which boxes without allocating)
 // keeps node construction and sleep/wake churn free of closure allocations.
-func nodeWake(_ *sim.Kernel, arg any)  { arg.(*Node).wakeUp() }
-func nodeSense(_ *sim.Kernel, arg any) { arg.(*Node).senseNow() }
-func nodeGone(_ *sim.Kernel, arg any)  { arg.(*Node).stimulusGone() }
-func nodeDie(_ *sim.Kernel, arg any)   { arg.(*Node).dieOfBattery() }
-func nodeFail(_ *sim.Kernel, arg any)  { arg.(*Node).Fail() }
+func nodeWake(_ *sim.Kernel, arg any)    { arg.(*Node).wakeUp() }
+func nodeSense(_ *sim.Kernel, arg any)   { arg.(*Node).senseNow() }
+func nodeGone(_ *sim.Kernel, arg any)    { arg.(*Node).stimulusGone() }
+func nodeDie(_ *sim.Kernel, arg any)     { arg.(*Node).dieOfBattery() }
+func nodeFail(_ *sim.Kernel, arg any)    { arg.(*Node).Fail() }
+func nodeRecover(_ *sim.Kernel, arg any) { arg.(*Node).Recover() }
 
 // New creates a node, registers it on the medium and schedules its sensing
 // events. The node starts awake in the safe state (all sensors boot active;
@@ -272,7 +298,7 @@ func (n *Node) senseNow() bool {
 	if n.failed || !n.awake || n.detected {
 		return false
 	}
-	if !n.stim.Covered(n.pos, n.kernel.Now()) {
+	if !n.covered(n.kernel.Now()) {
 		return false
 	}
 	n.detected = true
@@ -310,8 +336,35 @@ func (n *Node) CoveredNow() bool {
 	if !n.IsAwake() {
 		panic(fmt.Sprintf("node %d: sensor read while asleep", n.id))
 	}
-	return n.stim.Covered(n.pos, n.kernel.Now())
+	return n.covered(n.kernel.Now())
 }
+
+// covered is the sensor reading at time t: the ground-truth coverage, routed
+// through the miscalibration model when one is installed.
+func (n *Node) covered(t float64) bool {
+	if n.sensor != nil {
+		return n.sensor.Reading(n.stim, n.pos, t)
+	}
+	return n.stim.Covered(n.pos, t)
+}
+
+// SetSensor installs a miscalibration model and schedules its extra sensing
+// instants (perceived arrival, burst onsets). Call before Start.
+func (n *Node) SetSensor(sm SensorModel) {
+	n.sensor = sm
+	if sm == nil {
+		return
+	}
+	now := n.kernel.Now()
+	for _, t := range sm.SenseTimes(n.stim, n.pos) {
+		if !math.IsInf(t, 1) && t >= now {
+			n.kernel.ScheduleArgAt(t, nodeSense, n)
+		}
+	}
+}
+
+// Sensor returns the installed sensor model (nil = perfect sensor).
+func (n *Node) Sensor() SensorModel { return n.sensor }
 
 // Detected reports whether and when the node has detected the stimulus.
 func (n *Node) Detected() (float64, bool) { return n.detectedAt, n.detected }
@@ -417,6 +470,7 @@ func (n *Node) Fail() {
 		return
 	}
 	n.failed = true
+	n.failedAt = n.kernel.Now()
 	n.wake.Stop()
 	n.death.Stop()
 	n.meter.Close(n.kernel.Now())
@@ -429,6 +483,66 @@ func (n *Node) Failed() bool { return n.failed }
 func (n *Node) FailAt(at float64) {
 	n.kernel.ScheduleArgAt(at, nodeFail, n)
 }
+
+// Recover reboots a failed node in place: the outage closes, the meter
+// reopens in active mode (charging the wake-up cost — a reboot is at least
+// a wake-up), the radio is marked deaf to transmissions already in flight,
+// and the agent sees an OnWake (or OnDetect if the stimulus arrived during
+// the outage). Positions never change, so the frozen network topology stays
+// valid — recovery must never touch the medium's neighbor structure.
+// Battery-dead nodes stay dead; recovery is for injected churn only.
+func (n *Node) Recover() {
+	if !n.failed || n.dead {
+		return
+	}
+	now := n.kernel.Now()
+	n.downs = append(n.downs, Downtime{Start: n.failedAt, End: now})
+	n.failed = false
+	n.awake = true
+	n.meter.Reopen(now, energy.ModeActive)
+	n.medium.MarkDeafUntil(n.id, now)
+	n.rescheduleDeath()
+	if !n.senseNow() {
+		n.agent.OnWake(n)
+	}
+}
+
+// RecoverAt schedules the node to recover at virtual time at.
+func (n *Node) RecoverAt(at float64) {
+	n.kernel.ScheduleArgAt(at, nodeRecover, n)
+}
+
+// Downtimes returns the closed outage intervals so far (recoveries only; a
+// node currently down has an open interval ending at WasDownAt's query
+// time). The slice is owned by the node — do not mutate.
+func (n *Node) Downtimes() []Downtime { return n.downs }
+
+// WasDownAt reports whether the node was failed at time t.
+func (n *Node) WasDownAt(t float64) bool {
+	for _, d := range n.downs {
+		if t >= d.Start && t < d.End {
+			return true
+		}
+	}
+	return n.failed && t >= n.failedAt
+}
+
+// DownDuring returns the total time the node spent failed within
+// [0, horizon], the open tail of a still-failed node included.
+func (n *Node) DownDuring(horizon float64) float64 {
+	var tot float64
+	for _, d := range n.downs {
+		tot += math.Min(d.End, horizon) - math.Min(d.Start, horizon)
+	}
+	if n.failed && n.failedAt < horizon {
+		tot += horizon - n.failedAt
+	}
+	return tot
+}
+
+// Agent exposes the protocol agent, letting metrics collectors type-assert
+// for protocol-specific statistics (e.g. liveness tracking).
+func (n *Node) Agent() Agent { return n.agent }
 
 // --- observers ---
 

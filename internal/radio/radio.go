@@ -173,6 +173,11 @@ type endpoint struct {
 	// been destroyed by an overlap.
 	busyUntil    float64
 	corruptUntil float64
+	// deafUntil is the instant the node last rebooted (churn recovery): a
+	// transmission whose preamble started before it cannot be received, even
+	// though the node is listening again by delivery time. Zero for nodes
+	// that never recovered.
+	deafUntil float64
 }
 
 // Medium is the shared broadcast channel. It is bound to a simulation kernel
@@ -524,6 +529,13 @@ func (m *Medium) runDelivery(d *delivery) {
 			m.stats.DroppedSleeping++
 			continue
 		}
+		if target.deafUntil > d.end-d.txTime+1e-12 {
+			// The node rebooted after this transmission went on air: it was
+			// down at preamble time and cannot have synchronized, listening
+			// now or not.
+			m.stats.DroppedSleeping++
+			continue
+		}
 		if target.meter != nil {
 			target.meter.ChargeRx(d.txTime)
 		}
@@ -555,6 +567,15 @@ func (m *Medium) deferBroadcast(from NodeID, env Envelope, attempt int) {
 		}
 		m.Broadcast(from, env)
 	})
+}
+
+// MarkDeafUntil records that node id was unable to hear any transmission
+// that started before t (it rebooted at t). In-flight deliveries targeting
+// it are dropped at delivery time; the frozen topology is untouched.
+func (m *Medium) MarkDeafUntil(id NodeID, t float64) {
+	if ep, ok := m.endpoints[id]; ok && t > ep.deafUntil {
+		ep.deafUntil = t
+	}
 }
 
 // Stats returns a copy of the medium's counters.

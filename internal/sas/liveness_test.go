@@ -1,0 +1,96 @@
+package sas
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// TestLivenessDeclaresSilentPeer drives the full sink-side liveness path
+// through a real simulation: a covered (always-awake) SAS node observes one
+// neighbour, the neighbour crashes, and the periodic liveness tick must
+// suspect it, re-probe with backoff, and finally declare it dead.
+func TestLivenessDeclaresSilentPeer(t *testing.T) {
+	k, m := sasRig()
+	// Front centred on the SAS node: covered (and therefore awake for every
+	// liveness tick) from t=0 on.
+	stim := diffusion.NewRadialFront(geom.V(0, 0), 1, 0)
+	cfg := testCfg()
+	cfg.Liveness = fault.LivenessConfig{
+		MissK: 1, Interval: 1, BackoffInit: 1, BackoffMax: 2, MaxProbes: 2,
+	}
+	agent := New(cfg)
+	n := addSASNode(k, m, 0, geom.V(0, 0), stim, agent)
+	probe := &probeAgent{}
+	pn := addSASNode(k, m, 1, geom.V(5, 0), stim, probe)
+	// One REQUEST so the tracker observes peer 1, then the peer goes dark.
+	k.Schedule(0.2, func(*sim.Kernel) { pn.Broadcast(core.Request{}.Envelope()) })
+	pn.FailAt(0.5)
+	n.Start()
+	pn.Start()
+	k.RunUntil(8)
+
+	st := agent.LivenessStats()
+	if st.Peers != 1 {
+		t.Fatalf("Peers = %d, want 1", st.Peers)
+	}
+	// Suspicion probe at the first tick past MissK*Interval of silence, one
+	// backed-off re-probe, then the declaration: MaxProbes=2 broadcasts.
+	if st.Probes != 2 {
+		t.Errorf("Probes = %d, want 2", st.Probes)
+	}
+	if len(st.Declared) != 1 {
+		t.Fatalf("Declared = %v, want exactly one declaration", st.Declared)
+	}
+	d := st.Declared[0]
+	if d.ID != 1 {
+		t.Errorf("declared peer %d, want 1", d.ID)
+	}
+	if d.At < 4 || d.At > 6 {
+		t.Errorf("declared at t=%v, want ~5 (suspect t=2, probe t=3, declare t=5)", d.At)
+	}
+	if d.LastHeard < 0.2 || d.LastHeard > 0.3 {
+		t.Errorf("LastHeard = %v, want ~0.2", d.LastHeard)
+	}
+	if n.Now() < 8 {
+		t.Errorf("node clock stopped at %v; liveness timer must keep re-arming", n.Now())
+	}
+}
+
+// TestLivenessStatsZeroWhenDisabled pins the nil-tracker snapshot.
+func TestLivenessStatsZeroWhenDisabled(t *testing.T) {
+	agent := New(testCfg())
+	st := agent.LivenessStats()
+	if st.Peers != 0 || st.Probes != 0 || st.ProbeJ != 0 || len(st.Declared) != 0 {
+		t.Errorf("disabled liveness stats = %+v, want zero value", st)
+	}
+}
+
+// TestNewSlabFallsBackPastCapacity exercises the slab factory: in-slab
+// agents while capacity lasts, heap fallback after.
+func TestNewSlabFallsBackPastCapacity(t *testing.T) {
+	factory := NewSlab(testCfg(), 1)
+	a1 := factory()
+	a2 := factory()
+	if a1 == nil || a2 == nil {
+		t.Fatal("slab factory returned nil agent")
+	}
+	if a1 == a2 {
+		t.Fatal("slab factory returned the same agent twice")
+	}
+	// Both must be fully initialised, not just allocated.
+	k, m := sasRig()
+	stim := diffusion.NewRadialFront(geom.V(-1e6, 0), 0.001, 0)
+	n1 := addSASNode(k, m, 0, geom.V(0, 0), stim, a1)
+	n2 := addSASNode(k, m, 1, geom.V(5, 0), stim, a2)
+	n1.Start()
+	n2.Start()
+	k.RunUntil(5)
+	if n1.Now() != 5 || n2.Now() != 5 {
+		t.Errorf("slab agents stalled: clocks %v, %v, want 5", n1.Now(), n2.Now())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"slices"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/node"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -47,6 +48,9 @@ type Config struct {
 	SleepJitter float64
 	// MinVelocityDt matches the PAS minimum usable detection-time gap.
 	MinVelocityDt float64
+	// Liveness mirrors the PAS sink-side peer liveness tracker (zero value
+	// = disabled).
+	Liveness fault.LivenessConfig
 }
 
 // DefaultConfig mirrors the PAS defaults so head-to-head sweeps differ only
@@ -82,6 +86,10 @@ type Agent struct {
 	decision       sim.Timer
 	reassess       sim.Timer
 	coveredTimeout sim.Timer
+
+	// Liveness tracking (nil/unarmed unless cfg.Liveness is enabled).
+	live     *fault.Liveness
+	liveTick sim.Timer
 
 	detected   bool
 	detectedAt float64
@@ -173,12 +181,30 @@ func sasStaggerSend(_ *sim.Kernel, arg any) {
 	}
 }
 
+// sasLivenessTick mirrors the PAS liveness scan: advance the tracker, probe
+// when due, re-arm without closures.
+func sasLivenessTick(_ *sim.Kernel, arg any) {
+	a := arg.(*Agent)
+	n := a.n
+	if n.IsAwake() && a.live.Tick(n.Now()) {
+		before := n.Meter().Breakdown().TxJ
+		n.Broadcast(core.Request{}.Envelope())
+		a.live.AddProbeEnergy(n.Meter().Breakdown().TxJ - before)
+	}
+	a.liveTick.ResetArg(a.cfg.Liveness.Interval, sasLivenessTick, a)
+}
+
 // Init implements node.Agent.
 func (a *Agent) Init(n *node.Node) {
 	a.n = n
 	a.decision.Bind(n.Kernel())
 	a.reassess.Bind(n.Kernel())
 	a.coveredTimeout.Bind(n.Kernel())
+	if a.cfg.Liveness.Enabled() {
+		a.live = fault.NewLiveness(a.cfg.Liveness)
+		a.liveTick.Bind(n.Kernel())
+		a.liveTick.ResetArg(a.cfg.Liveness.Interval, sasLivenessTick, a)
+	}
 	n.SetState(node.StateSafe)
 	a.probe(n)
 }
@@ -220,6 +246,14 @@ func (a *Agent) enterSafe(n *node.Node, resetRamp bool) {
 
 // OnWake implements node.Agent.
 func (a *Agent) OnWake(n *node.Node) { a.probe(n) }
+
+// LivenessStats snapshots the liveness tracker (zero value when disabled).
+func (a *Agent) LivenessStats() fault.LivenessStats {
+	if a.live == nil {
+		return fault.LivenessStats{}
+	}
+	return a.live.Stats()
+}
 
 // OnDetect implements node.Agent: compute the scalar local speed from
 // covered neighbours and broadcast the alert.
@@ -270,6 +304,9 @@ func (a *Agent) OnStimulusGone(n *node.Node) {
 // beyond the front's one-hop neighbourhood. Boxed Request/Response arrive
 // through the KindExt fallback for hand-wired tests and extensions.
 func (a *Agent) OnMessage(n *node.Node, from radio.NodeID, env radio.Envelope) {
+	if a.live != nil {
+		a.live.Observe(from, n.Now())
+	}
 	switch env.Kind {
 	case radio.KindRequest:
 		a.handleRequest(n)

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLegacyFailuresJSONBackCompat pins that failure specs written before the
+// extended fault taxonomy still decode, still compile through the legacy
+// (Fraction/By) path, and still produce the same content address. The hash
+// literal was computed on the pre-fault tree; if this test fails, cached
+// simulations keyed by old clients have silently gone stale.
+func TestLegacyFailuresJSONBackCompat(t *testing.T) {
+	data := []byte(`{
+	  "name": "canon-test",
+	  "field": {"Min": {"X": 0, "Y": 0}, "Max": {"X": 40, "Y": 40}},
+	  "nodes": 10,
+	  "horizon": 100,
+	  "radio": {"range": 10},
+	  "stimulus": {"kind": "radial", "origin": {"X": 0, "Y": 20}, "speed": 0.5, "start": 10},
+	  "failures": {"fraction": 0.1, "by": 50}
+	}`)
+	sp, err := Decode(data)
+	if err != nil {
+		t.Fatalf("pre-fault failures JSON no longer decodes: %v", err)
+	}
+	want := FailureSpec{Fraction: 0.1, By: 50}
+	if !reflect.DeepEqual(sp.Failures, want) {
+		t.Errorf("failures decoded as %+v, want %+v", sp.Failures, want)
+	}
+	if sp.Failures.Extended() {
+		t.Error("plain fraction/by spec classified as extended — it would leave the legacy code path")
+	}
+	h, err := Hash(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const preFaultHash = "05f2cbeab5c9dfe3a101e07d08eab7510703686fd8436a27436149b1c3429c52"
+	if h != preFaultHash {
+		t.Errorf("legacy spec hash drifted:\ngot  %s\nwant %s", h, preFaultHash)
+	}
+}
+
+// TestExtendedFailuresHashEquivalence extends the canonicalization contract
+// to the fault taxonomy: window defaults materialize, disabled sub-specs
+// drop, and liveness defaults collapse onto one hash — while any behavioral
+// difference keeps hashes distinct.
+func TestExtendedFailuresHashEquivalence(t *testing.T) {
+	base := minimalSpec()
+
+	equal := []struct {
+		name string
+		a, b func(Scenario) Scenario
+	}{
+		{"churn window end 0 vs horizon", func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Churn: &ChurnSpec{Fraction: 0.2, MeanDown: 20}}
+			return s
+		}, func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Churn: &ChurnSpec{Fraction: 0.2, MeanDown: 20, By: s.Horizon}}
+			return s
+		}},
+		{"zero-fraction churn drops", func(s Scenario) Scenario {
+			return s
+		}, func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Churn: &ChurnSpec{MeanDown: 20}}
+			return s
+		}},
+		{"zero-fraction sensor drops", func(s Scenario) Scenario {
+			return s
+		}, func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Sensor: &SensorSpec{Drift: 3}}
+			return s
+		}},
+		{"zero-loss degradation drops", func(s Scenario) Scenario {
+			return s
+		}, func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Radio: &DegradationSpec{Start: 10, End: 50}}
+			return s
+		}},
+		{"degradation end 0 vs horizon", func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Radio: &DegradationSpec{Loss: 0.3}}
+			return s
+		}, func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Radio: &DegradationSpec{Loss: 0.3, End: s.Horizon}}
+			return s
+		}},
+		{"liveness backoff defaults materialized", func(s Scenario) Scenario {
+			s.Protocol.Liveness = &LivenessSpec{MissK: 3, Interval: 5}
+			return s
+		}, func(s Scenario) Scenario {
+			s.Protocol.Liveness = &LivenessSpec{MissK: 3, Interval: 5, BackoffInit: 5, BackoffMax: 40, MaxProbes: 3}
+			return s
+		}},
+		{"disabled liveness drops", func(s Scenario) Scenario {
+			return s
+		}, func(s Scenario) Scenario {
+			s.Protocol.Liveness = &LivenessSpec{}
+			return s
+		}},
+	}
+	for _, tc := range equal {
+		ha, err := Hash(tc.a(base))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		hb, err := Hash(tc.b(base))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ha != hb {
+			t.Errorf("%s: hashes differ for semantically equal specs", tc.name)
+		}
+	}
+
+	distinct := []struct {
+		name string
+		mut  func(Scenario) Scenario
+	}{
+		{"churn", func(s Scenario) Scenario {
+			s.Failures.Churn = &ChurnSpec{Fraction: 0.2, MeanDown: 20}
+			return s
+		}},
+		{"crash window start", func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Fraction: 0.1, From: 10}
+			return s
+		}},
+		{"clustered crash", func(s Scenario) Scenario {
+			s.Failures = FailureSpec{Fraction: 0.1, ClusterRadius: 8}
+			return s
+		}},
+		{"sensor drift", func(s Scenario) Scenario {
+			s.Failures.Sensor = &SensorSpec{Fraction: 0.3, Drift: 3}
+			return s
+		}},
+		{"radio degradation", func(s Scenario) Scenario {
+			s.Failures.Radio = &DegradationSpec{Loss: 0.3}
+			return s
+		}},
+		{"liveness enabled", func(s Scenario) Scenario {
+			s.Protocol.Liveness = &LivenessSpec{MissK: 3, Interval: 5}
+			return s
+		}},
+		{"liveness missK", func(s Scenario) Scenario {
+			s.Protocol.Liveness = &LivenessSpec{MissK: 4, Interval: 5}
+			return s
+		}},
+	}
+	hbase, err := Hash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{hbase: "base"}
+	for _, tc := range distinct {
+		h, err := Hash(tc.mut(base))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s: behaviorally distinct spec hashed equal to %s", tc.name, prev)
+		}
+		seen[h] = tc.name
+	}
+}
+
+// TestExtendedFailuresDecodeHandwritten decodes a fully loaded hand-written
+// fault section — the JSON shape external clients will post to the daemon.
+func TestExtendedFailuresDecodeHandwritten(t *testing.T) {
+	data := []byte(`{
+	  "name": "chaos",
+	  "field": {"Min": {"X": 0, "Y": 0}, "Max": {"X": 40, "Y": 40}},
+	  "nodes": 30,
+	  "horizon": 140,
+	  "radio": {"range": 10},
+	  "stimulus": {"kind": "radial", "origin": {"X": 0, "Y": 20}, "speed": 0.5, "start": 10},
+	  "failures": {
+	    "fraction": 0.05, "from": 20, "by": 120, "clusterRadius": 10,
+	    "churn": {"fraction": 0.2, "meanDown": 20, "minDown": 5},
+	    "sensor": {"fraction": 0.3, "drift": 3, "stuck": 0.2, "burstRate": 2, "burstLen": 2},
+	    "radio": {"start": 35, "end": 105, "loss": 0.15}
+	  },
+	  "protocol": {"name": "pas", "liveness": {"missK": 3, "interval": 5, "backoffInit": 2, "backoffMax": 16}}
+	}`)
+	sp, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Failures.Extended() {
+		t.Error("loaded fault section not classified as extended")
+	}
+	if sp.Failures.Churn.MeanDown != 20 || sp.Failures.Sensor.BurstLen != 2 || sp.Failures.Radio.Loss != 0.15 {
+		t.Errorf("fault sections decoded as %+v", sp.Failures)
+	}
+	if sp.Protocol.Liveness.BackoffMax != 16 {
+		t.Errorf("liveness decoded as %+v", sp.Protocol.Liveness)
+	}
+	// The canonical pipeline must hold for the loaded shape too.
+	if _, err := Hash(sp); err != nil {
+		t.Fatalf("loaded spec failed to hash: %v", err)
+	}
+}

@@ -161,21 +161,90 @@ func (s StimulusSpec) normalized() StimulusSpec {
 
 // normalized drops the deadline when nothing fails and materializes the
 // "0 = horizon" deadline default otherwise (mirroring experiment.Build).
+// The legacy branch (no extended fields) is byte-identical to its pre-fault
+// behaviour, so old specs keep old hashes; the extended branch materializes
+// each sub-spec's window defaults the same way fault.Compile consumes them.
 func (f FailureSpec) normalized(horizon float64) FailureSpec {
-	if f.Fraction == 0 {
-		return FailureSpec{}
+	if !f.Extended() {
+		if f.Fraction == 0 {
+			return FailureSpec{}
+		}
+		if f.By == 0 {
+			f.By = horizon
+		}
+		return f
 	}
-	if f.By == 0 {
+	if f.Fraction > 0 && f.By == 0 {
 		f.By = horizon
+	}
+	if f.Fraction == 0 {
+		f.By, f.From, f.ClusterRadius = 0, 0, 0
+	}
+	if f.Churn != nil {
+		c := *f.Churn
+		if c.Fraction == 0 {
+			f.Churn = nil
+		} else {
+			if c.By == 0 {
+				c.By = horizon
+			}
+			f.Churn = &c
+		}
+	}
+	if f.Sensor != nil {
+		s := *f.Sensor
+		if s.Fraction == 0 {
+			f.Sensor = nil
+		} else {
+			f.Sensor = &s
+		}
+	}
+	if f.Radio != nil {
+		d := *f.Radio
+		if d.Loss == 0 {
+			f.Radio = nil
+		} else {
+			if d.End == 0 {
+				d.End = horizon
+			}
+			f.Radio = &d
+		}
 	}
 	return f
 }
 
+// Extended reports whether any post-crash-stop fault field is in use; such
+// specs compile through internal/fault instead of the legacy kill loop.
+func (f FailureSpec) Extended() bool {
+	return f.Churn != nil || f.Sensor != nil || f.Radio != nil ||
+		f.From > 0 || f.ClusterRadius > 0
+}
+
 // normalized materializes the conventional MaxSleep/5 ramp the experiment
-// harness fills in when a spec pins the cap but not the increment.
+// harness fills in when a spec pins the cap but not the increment, and the
+// liveness backoff defaults (mirroring fault.LivenessConfig.WithDefaults), so
+// a spec that spells out the defaults hashes equal to one that omits them. A
+// disabled liveness section (missK or interval unset) drops entirely.
 func (p ProtocolSpec) normalized() ProtocolSpec {
 	if p.MaxSleep > 0 && p.SleepIncrement == 0 {
 		p.SleepIncrement = p.MaxSleep / 5
+	}
+	if l := p.Liveness; l != nil {
+		if l.MissK <= 0 || l.Interval <= 0 {
+			p.Liveness = nil
+		} else {
+			v := *l
+			if v.BackoffInit == 0 {
+				v.BackoffInit = v.Interval
+			}
+			if v.BackoffMax == 0 {
+				v.BackoffMax = 8 * v.Interval
+			}
+			if v.MaxProbes == 0 {
+				v.MaxProbes = 3
+			}
+			p.Liveness = &v
+		}
 	}
 	return p
 }

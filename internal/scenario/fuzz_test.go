@@ -20,6 +20,15 @@ func FuzzScenarioJSON(f *testing.F) {
 	}
 	f.Add([]byte(`{"name":"x","field":{"Min":{"X":0,"Y":0},"Max":{"X":9,"Y":9}},"nodes":2,"horizon":1,` +
 		`"radio":{"range":3},"stimulus":{"kind":"radial","speed":1}}`))
+	// A fully loaded extended fault section plus liveness, so the fuzzer
+	// mutates every fault-taxonomy field from the start.
+	f.Add([]byte(`{"name":"chaos","field":{"Min":{"X":0,"Y":0},"Max":{"X":40,"Y":40}},"nodes":30,"horizon":140,` +
+		`"radio":{"range":10},"stimulus":{"kind":"radial","origin":{"X":0,"Y":20},"speed":0.5,"start":10},` +
+		`"failures":{"fraction":0.05,"from":20,"by":120,"clusterRadius":10,` +
+		`"churn":{"fraction":0.2,"meanDown":20,"minDown":5},` +
+		`"sensor":{"fraction":0.3,"drift":3,"stuck":0.2,"burstRate":2,"burstLen":2},` +
+		`"radio":{"start":35,"end":105,"loss":0.15}},` +
+		`"protocol":{"name":"pas","liveness":{"missK":3,"interval":5,"backoffInit":2,"backoffMax":16}}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := Decode(data)
 		if err != nil {

@@ -130,6 +130,23 @@ func All() []Scenario {
 			Stimulus: StimulusSpec{Kind: StimRadial, Origin: geom.V(0, 20), Speed: 0.5, Start: 10},
 			Failures: FailureSpec{Fraction: 0.1},
 		},
+		{
+			Name:        "churn",
+			Description: "crash-recovery churn: 20% of nodes blink out and rejoin, sink tracks liveness",
+			Field:       paperField, Nodes: 30, Horizon: 140,
+			Radio:    RadioSpec{Range: 10},
+			Stimulus: StimulusSpec{Kind: StimRadial, Origin: geom.V(0, 20), Speed: 0.5, Start: 10},
+			Failures: FailureSpec{Churn: &ChurnSpec{Fraction: 0.2, MeanDown: 20}},
+			Protocol: ProtocolSpec{Liveness: &LivenessSpec{MissK: 3, Interval: 5}},
+		},
+		{
+			Name:        "drift",
+			Description: "sensor miscalibration: 30% of nodes drift 3 s late, some stick or burst",
+			Field:       paperField, Nodes: 30, Horizon: 140,
+			Radio:    RadioSpec{Range: 10},
+			Stimulus: StimulusSpec{Kind: StimRadial, Origin: geom.V(0, 20), Speed: 0.5, Start: 10},
+			Failures: FailureSpec{Sensor: &SensorSpec{Fraction: 0.3, Drift: 3, Stuck: 0.2, BurstRate: 2, BurstLen: 2}},
+		},
 		Scale(100),
 		Scale(1000),
 		Scale(10000),

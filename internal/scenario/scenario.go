@@ -68,7 +68,8 @@ type Scenario struct {
 	Radio RadioSpec `json:"radio"`
 	// Stimulus describes the monitored phenomenon.
 	Stimulus StimulusSpec `json:"stimulus"`
-	// Failures optionally kills a fraction of nodes at random times.
+	// Failures optionally injects faults: crash-stop kills, churn, sensor
+	// miscalibration and radio degradation windows.
 	Failures FailureSpec `json:"failures,omitzero"`
 	// Protocol optionally overrides protocol tunables.
 	Protocol ProtocolSpec `json:"protocol,omitzero"`
@@ -267,19 +268,141 @@ func (r RadioSpec) Model() (radio.LossModel, error) {
 	}
 }
 
-// FailureSpec kills Fraction of the nodes at uniform random times in
-// [0, By] (By 0 = the horizon).
+// FailureSpec describes fault injection. The original (and still default)
+// shape kills Fraction of the nodes at uniform random times in [0, By]
+// (By 0 = the horizon); the extended fields layer churn, sensor
+// miscalibration and radio degradation on top. A spec using only Fraction/By
+// compiles through the exact legacy code path, so pre-existing scenarios
+// keep their hashes and their traces.
 type FailureSpec struct {
+	// Fraction of the nodes to crash-stop at uniform random times.
 	Fraction float64 `json:"fraction,omitempty"`
+	// By is the crash-window end (0 = the horizon).
+	By float64 `json:"by,omitempty"`
+	// From is the crash-window start (0 = time zero). Setting it engages
+	// the extended fault path.
+	From float64 `json:"from,omitempty"`
+	// ClusterRadius switches the crash victim draw from uniform-random to
+	// spatially clustered: victims are the Fraction×n nodes nearest a
+	// randomly chosen epicentre, restricted to this radius in metres.
+	ClusterRadius float64 `json:"clusterRadius,omitempty"`
+	// Churn adds crash-recovery churn (nodes go dark, then rejoin).
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Sensor adds sensor miscalibration transforms.
+	Sensor *SensorSpec `json:"sensor,omitempty"`
+	// Radio adds a time-bounded radio degradation window.
+	Radio *DegradationSpec `json:"radio,omitempty"`
+}
+
+// ChurnSpec describes crash-recovery churn: Fraction of the nodes each pick
+// an outage start uniform in [Start, By] (By 0 = the horizon) and stay dark
+// for MinDown plus an exponential draw with mean MeanDown seconds, then
+// rejoin. Rejoining reuses the frozen topology — positions never change.
+type ChurnSpec struct {
+	Fraction float64 `json:"fraction,omitempty"`
+	MeanDown float64 `json:"meanDown,omitempty"`
+	MinDown  float64 `json:"minDown,omitempty"`
+	Start    float64 `json:"start,omitempty"`
 	By       float64 `json:"by,omitempty"`
 }
 
-func (f FailureSpec) validate() error {
-	if f.Fraction < 0 || f.Fraction > 1 {
-		return fmt.Errorf("failure fraction %g outside [0, 1]", f.Fraction)
+func (c *ChurnSpec) validate() error {
+	switch {
+	case c.Fraction < 0 || c.Fraction > 1:
+		return fmt.Errorf("churn fraction %g outside [0, 1]", c.Fraction)
+	case c.MeanDown < 0:
+		return fmt.Errorf("negative churn mean downtime %g", c.MeanDown)
+	case c.MinDown < 0:
+		return fmt.Errorf("negative churn min downtime %g", c.MinDown)
+	case c.Start < 0:
+		return fmt.Errorf("negative churn window start %g", c.Start)
+	case c.By < 0:
+		return fmt.Errorf("negative churn window end %g", c.By)
+	case c.By > 0 && c.By < c.Start:
+		return fmt.Errorf("churn window end %g before start %g", c.By, c.Start)
 	}
-	if f.By < 0 {
+	return nil
+}
+
+// SensorSpec describes miscalibration applied between stimulus and reading
+// on Fraction of the nodes: Drift perceives the front Drift seconds late;
+// Stuck is the probability a faulted node latches its reading forever at a
+// uniform-random onset; BurstRate bursts per horizon (mean) of spurious
+// always-detecting noise lasting Exponential(BurstLen) seconds each.
+type SensorSpec struct {
+	Fraction  float64 `json:"fraction,omitempty"`
+	Drift     float64 `json:"drift,omitempty"`
+	Stuck     float64 `json:"stuck,omitempty"`
+	BurstRate float64 `json:"burstRate,omitempty"`
+	BurstLen  float64 `json:"burstLen,omitempty"`
+}
+
+func (s *SensorSpec) validate() error {
+	switch {
+	case s.Fraction < 0 || s.Fraction > 1:
+		return fmt.Errorf("sensor fault fraction %g outside [0, 1]", s.Fraction)
+	case s.Drift < 0:
+		return fmt.Errorf("negative sensor drift %g", s.Drift)
+	case s.Stuck < 0 || s.Stuck > 1:
+		return fmt.Errorf("sensor stuck probability %g outside [0, 1]", s.Stuck)
+	case s.BurstRate < 0:
+		return fmt.Errorf("negative sensor burst rate %g", s.BurstRate)
+	case s.BurstLen < 0:
+		return fmt.Errorf("negative sensor burst length %g", s.BurstLen)
+	}
+	return nil
+}
+
+// DegradationSpec layers an extra independent per-delivery drop probability
+// Loss on the channel during [Start, End] (End 0 = the horizon), modelling a
+// time-bounded radio degradation window (weather, interference).
+type DegradationSpec struct {
+	Start float64 `json:"start,omitempty"`
+	End   float64 `json:"end,omitempty"`
+	Loss  float64 `json:"loss,omitempty"`
+}
+
+func (d *DegradationSpec) validate() error {
+	switch {
+	case d.Loss < 0 || d.Loss >= 1:
+		return fmt.Errorf("degradation loss %g outside [0, 1)", d.Loss)
+	case d.Start < 0:
+		return fmt.Errorf("negative degradation window start %g", d.Start)
+	case d.End < 0:
+		return fmt.Errorf("negative degradation window end %g", d.End)
+	case d.End > 0 && d.End < d.Start:
+		return fmt.Errorf("degradation window end %g before start %g", d.End, d.Start)
+	}
+	return nil
+}
+
+func (f FailureSpec) validate() error {
+	switch {
+	case f.Fraction < 0 || f.Fraction > 1:
+		return fmt.Errorf("failure fraction %g outside [0, 1]", f.Fraction)
+	case f.By < 0:
 		return fmt.Errorf("negative failure deadline %g", f.By)
+	case f.From < 0:
+		return fmt.Errorf("negative failure window start %g", f.From)
+	case f.By > 0 && f.By < f.From:
+		return fmt.Errorf("failure window end %g before start %g", f.By, f.From)
+	case f.ClusterRadius < 0:
+		return fmt.Errorf("negative failure cluster radius %g", f.ClusterRadius)
+	}
+	if f.Churn != nil {
+		if err := f.Churn.validate(); err != nil {
+			return err
+		}
+	}
+	if f.Sensor != nil {
+		if err := f.Sensor.validate(); err != nil {
+			return err
+		}
+	}
+	if f.Radio != nil {
+		if err := f.Radio.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -297,6 +420,38 @@ type ProtocolSpec struct {
 	SleepIncrement float64 `json:"sleepIncrement,omitempty"`
 	// AlertThreshold is the PAS alert time T_alert.
 	AlertThreshold float64 `json:"alertThreshold,omitempty"`
+	// Liveness enables the sink-side liveness tracker (suspect after
+	// MissK silent intervals, backoff re-probes, then declare dead).
+	Liveness *LivenessSpec `json:"liveness,omitempty"`
+}
+
+// LivenessSpec tunes the sink-side peer liveness tracker of the PAS/SAS
+// agents: a peer silent for MissK×Interval seconds is marked suspect and
+// re-probed with capped exponential backoff (BackoffInit doubling up to
+// BackoffMax, defaults Interval and 8×Interval) until MaxProbes probes
+// (default 3) have gone unanswered, at which point it is declared dead.
+type LivenessSpec struct {
+	MissK       int     `json:"missK,omitempty"`
+	Interval    float64 `json:"interval,omitempty"`
+	BackoffInit float64 `json:"backoffInit,omitempty"`
+	BackoffMax  float64 `json:"backoffMax,omitempty"`
+	MaxProbes   int     `json:"maxProbes,omitempty"`
+}
+
+func (l *LivenessSpec) validate() error {
+	switch {
+	case l.MissK < 0:
+		return fmt.Errorf("negative liveness missK %d", l.MissK)
+	case l.MissK > 0 && l.Interval <= 0:
+		return fmt.Errorf("liveness interval %g must be positive when missK is set", l.Interval)
+	case l.Interval < 0 || l.BackoffInit < 0 || l.BackoffMax < 0:
+		return fmt.Errorf("negative liveness tunable in %+v", *l)
+	case l.MaxProbes < 0:
+		return fmt.Errorf("negative liveness maxProbes %d", l.MaxProbes)
+	case l.BackoffMax > 0 && l.BackoffInit > l.BackoffMax:
+		return fmt.Errorf("liveness backoffInit %g above backoffMax %g", l.BackoffInit, l.BackoffMax)
+	}
+	return nil
 }
 
 func (p ProtocolSpec) validate() error {
@@ -307,6 +462,11 @@ func (p ProtocolSpec) validate() error {
 	}
 	if p.MaxSleep < 0 || p.SleepIncrement < 0 || p.AlertThreshold < 0 {
 		return fmt.Errorf("negative protocol tunable in %+v", p)
+	}
+	if p.Liveness != nil {
+		if err := p.Liveness.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -32,9 +32,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"repro/internal/experiment"
@@ -316,6 +318,23 @@ func (s *Server) admitAndCompute(ctx context.Context, compute func(ctx context.C
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
 	s.stats.simulations.Add(1)
+	return computeGuarded(ctx, compute)
+}
+
+// computeGuarded runs one simulation computation with a panic barrier: a
+// spec that passes validation but panics deep in the harness (an infeasible
+// poisson deployment saturating its candidate budget, a stimulus-model bug)
+// becomes a plain 500 on that request instead of killing the daemon — and,
+// because the panic surfaces as an error, the singleflight leader unblocks
+// its followers and nothing wedges. The offending key is never cached, so
+// the panic message stays reproducible.
+func computeGuarded(ctx context.Context, compute func(ctx context.Context) ([]byte, error)) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &httpError{status: http.StatusInternalServerError,
+				msg: fmt.Sprintf("simulation panicked: %v", r)}
+		}
+	}()
 	return compute(ctx)
 }
 
@@ -340,7 +359,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = he.status
 	case errors.Is(err, errSaturated):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.stats.rejected.Add(1)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// The request deadline expired (or the client went away) before the
@@ -354,6 +373,21 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds estimates how long a 429'd client should wait before
+// retrying: the simulations already admitted (queued plus in flight) drain
+// across the worker pool at roughly the observed median latency, plus one
+// median-latency slot for the retry itself. Floored at the historical 1 s
+// constant, which also covers a cold server with no latency history.
+func (s *Server) retryAfterSeconds() int {
+	p50, _ := s.stats.lat.quantiles(0.50, 0.99)
+	ahead := s.stats.queued.Load() + s.stats.inFlight.Load()
+	secs := int(math.Ceil(p50 / 1000 * (float64(ahead)/float64(s.cfg.Workers) + 1)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // decodeRequest parses a simulation request body, rejecting unknown fields

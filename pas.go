@@ -93,6 +93,38 @@
 // when their context dies, and produce byte-identical results to the
 // context-free forms when left to finish.
 //
+// # Robustness
+//
+// internal/fault is a deterministic fault-injection subsystem. A
+// FailureSpec declares the fault taxonomy: crash-stop kills (uniform, or
+// time-windowed via From/By and spatially clustered via ClusterRadius),
+// crash-recovery churn (ChurnSpec — nodes go dark and rejoin in place; the
+// frozen CSR topology is reused, never recompiled, and a rebooting radio
+// stays deaf to transmissions begun while it was down), sensor
+// miscalibration (SensorSpec — additive detection drift, stuck-at readings
+// frozen at a random onset, burst noise forcing spurious detections) and
+// radio degradation windows (DegradationSpec — a time-bounded extra drop
+// probability layered over the channel model without disturbing its own
+// draws). CompileFaults materializes a spec into a FaultPlan
+// (RunConfig.Faults); every draw comes from named rng streams ("failures"
+// for the legacy uniform kill — byte-compatible with the pre-fault harness —
+// plus fault/crash, fault/churn, fault/sensor and fault/degrade), so faulted
+// runs stay byte-identical serial vs parallel. A spec using only
+// Fraction/By takes the exact legacy code path and preserves old goldens.
+//
+// The PAS/SAS agents embed an optional sink-side liveness tracker
+// (Config.Liveness, a LivenessConfig): a peer silent for MissK report
+// intervals turns suspect and is re-probed with capped exponential backoff
+// (BackoffInit doubling up to BackoffMax) until MaxProbes probes go
+// unanswered, then it is declared dead; a later message resurrects it.
+// Metrics gains the graceful-degradation measures (live coverage fraction,
+// stale-read age at declaration, false-dead declarations, re-probe count and
+// energy) and the ext-faults experiment sweeps a combined churn ×
+// miscalibration × degradation severity against NS/PAS/SAS. Its golden
+// trace regenerates like the others:
+//
+//	go test ./internal/experiment -run 'TestGoldenTraces/ext-faults' -update
+//
 // # Performance
 //
 // The run path is engineered for zero steady-state allocations and no
@@ -138,9 +170,10 @@
 //
 // Determinism is pinned by golden-trace snapshots
 // (internal/experiment/testdata/golden): fresh serial and 8-way-parallel
-// runs of fig4, ext-plume, ext-lifetime and ext-lossy-csma (the
+// runs of fig4, ext-plume, ext-lifetime, ext-lossy-csma (the
 // imperfect-channel + collisions + CSMA workload, so every consumer of
-// channel randomness is trace-pinned against the frozen CSR rows) must
+// channel randomness is trace-pinned against the frozen CSR rows) and
+// ext-faults (churn, miscalibration, degradation and liveness probing) must
 // match the committed output byte-for-byte; regenerate intentionally with
 // `go test ./internal/experiment -run TestGoldenTraces -update`.
 //
@@ -196,6 +229,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/energy"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/node"
@@ -368,11 +402,45 @@ type (
 	// StimulusSpec declaratively describes a stimulus (radial, advected,
 	// anisotropic, multi-source, PDE plume, eikonal terrain).
 	StimulusSpec = scenario.StimulusSpec
-	// FailureSpec kills a fraction of nodes at random times.
+	// FailureSpec declares fault injection: the legacy uniform crash-stop
+	// kill (Fraction/By), time-windowed and spatially-clustered kills
+	// (From/ClusterRadius), and the extended models below.
 	FailureSpec = scenario.FailureSpec
+	// ChurnSpec takes nodes dark for a while and rejoins them in place
+	// (crash-recovery churn).
+	ChurnSpec = scenario.ChurnSpec
+	// SensorSpec miscalibrates sensors: additive detection drift, stuck-at
+	// readings and burst noise.
+	SensorSpec = scenario.SensorSpec
+	// DegradationSpec layers a time-bounded extra loss probability on the
+	// radio channel.
+	DegradationSpec = scenario.DegradationSpec
+	// LivenessSpec enables the sink-side peer liveness tracker in a
+	// scenario's protocol section.
+	LivenessSpec = scenario.LivenessSpec
 	// ProtocolSpec optionally pins the protocol and its headline tunables.
 	ProtocolSpec = scenario.ProtocolSpec
 )
+
+// Fault injection (internal/fault).
+type (
+	// FaultPlan is a compiled fault schedule: pure data shared across
+	// replicated runs, applied to a built network with per-run randomness.
+	FaultPlan = fault.Plan
+	// LivenessConfig tunes the sink-side peer liveness tracker embedded in
+	// the PAS/SAS configs (Config.Liveness); the zero value disables it.
+	LivenessConfig = fault.LivenessConfig
+	// LivenessStats snapshots a tracker: probe count, probe energy and the
+	// death declarations.
+	LivenessStats = fault.LivenessStats
+)
+
+// CompileFaults materializes a FailureSpec into a FaultPlan against the
+// given horizon; assign it to RunConfig.Faults. The experiment harness does
+// this automatically for scenario specs with extended fault models.
+func CompileFaults(f FailureSpec, horizon float64) *FaultPlan {
+	return fault.Compile(f, horizon)
+}
 
 // Scenarios returns the named scenario registry: the paper's Figs. 4–7
 // workload first, then the extension workloads, the structured-deployment
