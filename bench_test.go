@@ -476,6 +476,52 @@ func BenchmarkScale10kColdStart(b *testing.B) {
 	}
 }
 
+// BenchmarkScale100k times one full 100 000-node PAS run on four spatially
+// sharded kernels — the headline workload of the sharded event kernel. The
+// output is bit-identical to the serial run (pinned by the byte-identity
+// tests); this number tracks the wall-clock the sharding buys. On a 4+ core
+// runner it should sit well under the serial BenchmarkScale100kSerial; on a
+// starved runner the two converge (the barrier degrades to yields, not
+// spins). The fixed seed keeps the memoized deployment/topology engaged.
+func BenchmarkScale100k(b *testing.B) {
+	benchScale100k(b, 4)
+}
+
+// BenchmarkScale100kSerial is the 1-shard comparison point for
+// BenchmarkScale100k: the same workload through the sharded build and window
+// loop with no parallelism. The gap between the two is the speedup; the gap
+// against a plain serial run is the windowing overhead. Deliberately not in
+// the benchcheck baseline — it exists for the ratio, not for drift tracking.
+func BenchmarkScale100kSerial(b *testing.B) {
+	benchScale100k(b, 1)
+}
+
+func benchScale100k(b *testing.B, shards int) {
+	sp, ok := pas.LookupScenario("scale-100k")
+	if !ok {
+		b.Fatal("scale-100k missing from the registry")
+	}
+	cfg, err := pas.RunConfigFromScenario(sp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Protocol = pas.ProtoPAS
+	cfg.Shards = shards
+	var rep pas.RunReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep, err = pas.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rep.Detected != 100000 {
+		b.Fatalf("detected %d/100000", rep.Detected)
+	}
+	b.ReportMetric(rep.AvgDelay, "pas-delay-s")
+}
+
 // BenchmarkFaultChurn times a 10 000-node PAS run with 20% crash-recovery
 // churn and the sink-side liveness tracker on — the fault-injection worst
 // case: Fail/Recover events, deaf-window bookkeeping, per-suspect backoff

@@ -48,6 +48,7 @@ type config struct {
 	thresh       float64
 	lossProb     float64
 	failFrac     float64
+	shards       int
 
 	// set records which flags were explicitly given, so scenario-supplied
 	// values are only overridden on purpose.
@@ -72,6 +73,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.Float64Var(&c.thresh, "threshold", 20, "PAS alert-time threshold (s)")
 	fs.Float64Var(&c.lossProb, "loss", 0, "packet loss probability (0 = the scenario's channel)")
 	fs.Float64Var(&c.failFrac, "fail", 0, "fraction of nodes to fail at random times")
+	fs.IntVar(&c.shards, "shards", 0, "run on that many spatially sharded kernels (0 = serial); output is bit-identical to serial")
 	fs.BoolVar(&c.table, "table", false, "print the per-node table")
 	err := fs.Parse(args)
 	c.set = map[string]bool{}
@@ -155,6 +157,9 @@ func buildRunConfig(c config) (pas.RunConfig, error) {
 	if c.set["fail"] {
 		cfg.FailFraction = c.failFrac
 	}
+	if c.set["shards"] {
+		cfg.Shards = c.shards
+	}
 	return cfg, nil
 }
 
@@ -204,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// configurations; every single-run flag would be silently dropped,
 		// so reject them (only -seed/-reps/-parallel carry over).
 		for _, conflict := range []string{"scenario", "scenario-file", "table",
-			"protocol", "nodes", "range", "maxsleep", "threshold", "loss", "fail"} {
+			"protocol", "nodes", "range", "maxsleep", "threshold", "loss", "fail", "shards"} {
 			if c.set[conflict] {
 				fmt.Fprintf(stderr, "passim: -exp and -%s are mutually exclusive; drop one\n", conflict)
 				return 2

@@ -69,6 +69,14 @@ type RunConfig struct {
 	// BatteryJ, when positive, gives every node a finite energy budget in
 	// joules; nodes die when they exhaust it (the lifetime experiments).
 	BatteryJ float64
+	// Shards, when positive, runs the simulation on that many spatially
+	// partitioned kernels under conservative time windows (see
+	// node.BuildShardedNetwork). Output is bit-identical to the serial
+	// kernel at any shard count; only wall-clock time changes. Sharding
+	// requires a deterministic transmit path — exact unit-disk loss, no
+	// collisions, no CSMA, no extended fault plan — and returns an error
+	// otherwise (Shardable reports why).
+	Shards int
 }
 
 // Defaults fills zero fields with the paper's §4.2 setup (30 nodes, 10 m
@@ -202,6 +210,16 @@ func RunOnce(rc RunConfig) (metrics.RunReport, error) {
 func RunOnceContext(ctx context.Context, rc RunConfig) (metrics.RunReport, error) {
 	if err := ctx.Err(); err != nil {
 		return metrics.RunReport{}, err
+	}
+	if rc.Shards > 0 {
+		nw, rc, err := BuildSharded(rc)
+		if err != nil {
+			return metrics.RunReport{}, err
+		}
+		if _, err := nw.RunContext(ctx, rc.Scenario.Horizon); err != nil {
+			return metrics.RunReport{}, err
+		}
+		return metrics.Collect(nw.Nodes, rc.Scenario.Horizon), nil
 	}
 	nw, rc, err := Build(rc)
 	if err != nil {

@@ -32,7 +32,7 @@ func (c CSR) Row(i int) []int32 { return c.Items[c.Offsets[i]:c.Offsets[i+1]] }
 // MaxInt32 points panics (the arena is int32-indexed).
 func (h *SpatialHash) CompileCSR(r float64) CSR {
 	n := len(h.points)
-	if int64(n) > int64(maxInt32) {
+	if int64(n) > int64(maxCSRPoints) {
 		panic(fmt.Sprintf("geom: CompileCSR over %d points exceeds int32 indexing", n))
 	}
 	csr := CSR{Offsets: make([]int32, n+1)}
@@ -45,8 +45,8 @@ func (h *SpatialHash) CompileCSR(r float64) CSR {
 			}
 			csr.Items = append(csr.Items, int32(idx))
 		}
-		if int64(len(csr.Items)) > int64(maxInt32) {
-			panic("geom: CompileCSR edge count exceeds int32 indexing")
+		if int64(len(csr.Items)) > int64(maxCSREdges) {
+			panic(fmt.Sprintf("geom: CompileCSR edge count %d exceeds int32 indexing", len(csr.Items)))
 		}
 		csr.Offsets[i+1] = int32(len(csr.Items))
 	}
@@ -54,3 +54,13 @@ func (h *SpatialHash) CompileCSR(r float64) CSR {
 }
 
 const maxInt32 = 1<<31 - 1
+
+// The CSR capacity limits are variables only so tests can lower them and
+// exercise the guard paths without allocating multi-gigabyte inputs; at their
+// default values both are the hard int32-indexing ceiling. Compilations that
+// would exceed them must panic loudly — a silent int32 wrap would alias rows
+// and corrupt (not crash) every simulation run over the graph.
+var (
+	maxCSRPoints = maxInt32
+	maxCSREdges  = maxInt32
+)

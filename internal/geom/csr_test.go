@@ -60,6 +60,46 @@ func TestCompileCSRMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestCompileCSRCapacityGuards pins the int32 overflow guards: a compilation
+// whose point or edge count would overflow int32 indexing must panic loudly
+// rather than wrap and alias rows. The caps are lowered so the guard paths
+// run without gigabyte inputs; the production caps are the int32 ceiling.
+func TestCompileCSRCapacityGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: guard did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	points := []Vec2{V(1, 1), V(1.5, 1), V(2, 1), V(2.5, 1)}
+	bounds := R(0, 0, 10, 10)
+
+	defer func(p, e int) { maxCSRPoints, maxCSREdges = p, e }(maxCSRPoints, maxCSREdges)
+
+	maxCSRPoints = len(points) - 1
+	mustPanic("point cap", func() {
+		NewSpatialHash(bounds, 5, points).CompileCSR(5)
+	})
+	maxCSRPoints = maxInt32
+
+	// Four mutually in-range points produce 12 directed edges; an edge cap of
+	// 11 must trip while compiling the last row.
+	maxCSREdges = 11
+	mustPanic("edge cap", func() {
+		NewSpatialHash(bounds, 5, points).CompileCSR(5)
+	})
+	maxCSREdges = maxInt32
+
+	// At the restored production caps the same input compiles cleanly.
+	if c := NewSpatialHash(bounds, 5, points).CompileCSR(5); len(c.Items) != 12 {
+		t.Errorf("edges = %d, want 12", len(c.Items))
+	}
+}
+
 func TestCompileCSREmptyAndSingle(t *testing.T) {
 	bounds := R(0, 0, 10, 10)
 	empty := NewSpatialHash(bounds, 5, nil)

@@ -1,0 +1,262 @@
+// Sharded network construction and the conservative-window run loop.
+//
+// BuildShardedNetwork splits a deployment into contiguous spatial strips
+// (equal node counts, sorted by position) and builds one kernel + medium per
+// strip over the single shared frozen topology. RunContext then advances all
+// shards in lockstep windows of length W = TxTime(minWire) — the shortest
+// possible on-air transmission, hence the minimum cross-shard influence
+// delay — with a barrier between windows that reconstructs the serial event
+// order (sim.ShardGroup.EndWindow) and exchanges the staged cross-shard
+// deliveries (radio FlushBoundary). The result is bit-identical to
+// BuildNetwork + Run at any shard count; only the wall-clock changes.
+package node
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// ShardedNetwork is a wired sensor field split across spatial shards.
+type ShardedNetwork struct {
+	Group *sim.ShardGroup
+	Media []*radio.Medium
+	// Nodes in global ID order, exactly as Network.Nodes — metrics collection
+	// iterates this slice and must observe the serial iteration order.
+	Nodes []*Node
+	// Window is the conservative window length W: the transmission time of
+	// the smallest legal message, i.e. the minimum delay after which an event
+	// on one shard can influence another.
+	Window float64
+}
+
+// shardAssignment partitions n node positions into contiguous equal-count
+// strips: nodes sorted by (x, y, index), strip k owning ranks
+// [k·n/shards, (k+1)·n/shards). Strips of a spatially sorted order keep
+// neighbourhoods together, so most CSR rows stay within one shard and only
+// boundary rows produce cross-shard traffic.
+func shardAssignment(positions []geom.Vec2, shards int) []int32 {
+	n := len(positions)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := positions[idx[a]], positions[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return idx[a] < idx[b]
+	})
+	owner := make([]int32, n)
+	for rank, i := range idx {
+		owner[i] = int32(rank * shards / n)
+	}
+	return owner
+}
+
+// BuildShardedNetwork constructs a spatially sharded network from cfg.
+// minWire is the smallest on-air message size (bytes) any protocol in the
+// run transmits; it fixes the window length. Configurations whose transmit
+// path cannot shard deterministically (collisions, CSMA, non-UnitDisk loss)
+// panic — the experiment layer gates them into serial runs with a clear
+// error instead. A shard count above the node count is clamped.
+func BuildShardedNetwork(cfg NetworkConfig, shards, minWire int) *ShardedNetwork {
+	if cfg.Deployment == nil || cfg.Deployment.N() == 0 {
+		panic("node: network needs a non-empty deployment")
+	}
+	if cfg.Stimulus == nil || cfg.Loss == nil || cfg.Agents == nil {
+		panic("node: incomplete network config")
+	}
+	if shards < 1 {
+		panic(fmt.Sprintf("node: shard count must be positive, got %d", shards))
+	}
+	if cfg.Collisions || cfg.CSMA != nil {
+		panic("node: collision/CSMA modelling cannot run sharded")
+	}
+	n := cfg.Deployment.N()
+	if shards > n {
+		shards = n
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = radio.CompileTopology(cfg.Deployment.Field, cfg.Deployment.Positions, cfg.Loss.MaxRange())
+	}
+	owner := shardAssignment(cfg.Deployment.Positions, shards)
+	group := sim.NewShardGroup(shards)
+	media := radio.NewShardedMedia(group, cfg.Deployment.Field, cfg.Profile, cfg.Loss, topo, owner, minWire)
+	counts := make([]int, shards)
+	for _, s := range owner {
+		counts[s]++
+	}
+	for i, m := range media {
+		m.Reserve(counts[i])
+	}
+	// Construct nodes in GLOBAL ID order, exactly like the serial builder:
+	// the group is in direct mode, so every construction-time schedule call
+	// draws the same serial sequence number the one-kernel build would.
+	nodes := make([]*Node, n)
+	slab := make([]Node, n)
+	for i, pos := range cfg.Deployment.Positions {
+		id := radio.NodeID(i)
+		nd := &slab[i]
+		nd.init(Config{
+			ID:       id,
+			Pos:      pos,
+			Kernel:   group.Shard(int(owner[i])),
+			Medium:   media[owner[i]],
+			Stimulus: cfg.Stimulus,
+			Profile:  cfg.Profile,
+			Agent:    cfg.Agents(id),
+		})
+		nodes[i] = nd
+	}
+	return &ShardedNetwork{
+		Group:  group,
+		Media:  media,
+		Nodes:  nodes,
+		Window: cfg.Profile.TxTime(minWire),
+	}
+}
+
+// Run starts every agent, executes the sharded simulation to the horizon and
+// closes all meters at it.
+func (nw *ShardedNetwork) Run(horizon float64) float64 {
+	h, _ := nw.RunContext(context.Background(), horizon)
+	return h
+}
+
+// barrierSpins is how long a shard goroutine spins on the window barrier
+// before yielding the processor. Windows are microseconds of wall-clock, so
+// parking on a channel or mutex per window would dominate the run; spinning
+// with periodic yields keeps the barrier tens of nanoseconds in the common
+// case without starving co-scheduled work.
+const barrierSpins = 4096
+
+// ctxCheckEvery is how many window barriers pass between context polls.
+const ctxCheckEvery = 256
+
+// RunContext is Run with cooperative cancellation, polled every few hundred
+// window barriers. One goroutine per shard executes windows; this goroutine
+// orchestrates barriers, sequence merges and boundary flushes. On a
+// completed run every meter is closed and the return is (horizon, nil),
+// byte-identical to the serial Network.RunContext.
+func (nw *ShardedNetwork) RunContext(ctx context.Context, horizon float64) (float64, error) {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("node: horizon must be positive, got %g", horizon))
+	}
+	// Agent starts are construction-time work: global ID order, direct mode.
+	for _, n := range nw.Nodes {
+		n.Start()
+	}
+	nw.Group.BeginWindows()
+
+	s := nw.Group.Shards()
+	// Spinning assumes every shard goroutine owns a processor; when the
+	// runtime has fewer, yield immediately instead of burning the only
+	// timeslice the peer needs to finish the window.
+	spinLimit := barrierSpins
+	if runtime.GOMAXPROCS(0) <= s {
+		spinLimit = 1
+	}
+	var (
+		phase   atomic.Uint64 // incremented to release the workers
+		pending atomic.Int64  // workers still inside the current window
+		stopped atomic.Bool
+		// end/final are plain fields published by the phase increment (the
+		// atomic store/load pair orders them) and stable until all workers
+		// check in through pending.
+		end   float64
+		final bool
+		wg    sync.WaitGroup
+	)
+	for i := 0; i < s; i++ {
+		k := nw.Group.Shard(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seen := uint64(0); ; {
+				for spins := 0; phase.Load() == seen; {
+					if spins++; spins >= spinLimit {
+						runtime.Gosched()
+						spins = 0
+					}
+				}
+				seen++
+				if stopped.Load() {
+					pending.Add(-1)
+					return
+				}
+				if final {
+					k.RunUntil(end)
+				} else {
+					k.RunWindow(end)
+				}
+				pending.Add(-1)
+			}
+		}()
+	}
+	release := func() {
+		pending.Store(int64(s))
+		phase.Add(1)
+		for spins := 0; pending.Load() != 0; {
+			if spins++; spins >= spinLimit {
+				runtime.Gosched()
+				spins = 0
+			}
+		}
+	}
+	shutdown := func() {
+		stopped.Store(true)
+		release()
+		wg.Wait()
+	}
+
+	for barriers := 0; ; barriers++ {
+		// Window start: the globally earliest pending event, so idle spans
+		// are skipped in one hop instead of crossed window by window.
+		minAt, any := 0.0, false
+		for i := 0; i < s; i++ {
+			if at, ok := nw.Group.Shard(i).NextEventTime(); ok && (!any || at < minAt) {
+				minAt, any = at, true
+			}
+		}
+		if !any || minAt > horizon || minAt+nw.Window > horizon {
+			break
+		}
+		end, final = minAt+nw.Window, false
+		release()
+		nw.Group.EndWindow()
+		for _, m := range nw.Media {
+			m.FlushBoundary()
+		}
+		if barriers%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				shutdown()
+				return nw.Group.Shard(0).Now(), err
+			}
+		}
+	}
+	// Final stretch: every remaining event up to and including the horizon.
+	// An event here influences other shards no earlier than minAt + W >
+	// horizon, so the shards are causally independent to the end — no more
+	// barriers, and the serial-inclusive RunUntil semantics apply.
+	end, final = horizon, true
+	release()
+	shutdown()
+
+	for _, n := range nw.Nodes {
+		n.Finish(horizon)
+	}
+	return horizon, nil
+}

@@ -216,6 +216,11 @@ type Medium struct {
 	// is a pooled delivery record, instead of one closure per receiver.
 	freeDeliveries []*delivery    // recycled records
 	deliverFn      sim.ArgHandler // long-lived dispatch handler, built once
+
+	// shard, when non-nil, makes this medium one spatial shard of a sharded
+	// run (see shard.go). Nil for ordinary serial media, so the serial
+	// broadcast path is untouched.
+	shard *shardLink
 }
 
 // flight is one transmission in the air (for carrier sensing).
@@ -235,6 +240,11 @@ type delivery struct {
 	txTime  float64
 	end     float64
 	targets []*endpoint
+	// rowPos holds each target's position in the sender's global CSR row —
+	// only on sharded media, where split fan-out fragments must re-align
+	// their intra-fan-out schedule order (sim.SetFanKey). Empty on serial
+	// media.
+	rowPos []int32
 }
 
 // NewMedium creates a broadcast medium over the given field. The stream
@@ -262,14 +272,24 @@ func NewMedium(k *sim.Kernel, bounds geom.Rect, profile energy.Profile, loss Los
 }
 
 // EnableCollisions turns on destructive-collision modelling: transmissions
-// that overlap in time at a receiver destroy each other.
-func (m *Medium) EnableCollisions() { m.collisions = true }
+// that overlap in time at a receiver destroy each other. Not available on
+// sharded media — collision bookkeeping mutates receiver state at transmit
+// time, which would race across shards.
+func (m *Medium) EnableCollisions() {
+	if m.shard != nil {
+		panic("radio: collision modelling is not available on sharded media")
+	}
+	m.collisions = true
+}
 
 // EnableCSMA turns on carrier-sense multiple access: a transmission that
 // would start while another transmission is audible at the sender defers by
 // a uniform random backoff, retrying up to the configured attempts before
 // being dropped. Senders that go to sleep while deferring abandon the frame.
 func (m *Medium) EnableCSMA(cfg CSMAConfig) {
+	if m.shard != nil {
+		panic("radio: CSMA is not available on sharded media")
+	}
 	if cfg.MinBackoff <= 0 || cfg.MaxBackoff <= cfg.MinBackoff || cfg.MaxAttempts < 1 {
 		panic(fmt.Sprintf("radio: invalid CSMA config %+v", cfg))
 	}
@@ -343,6 +363,17 @@ func (m *Medium) AddNode(id NodeID, pos geom.Vec2, r Receiver, meter *energy.Met
 	}
 	*ep = endpoint{id: id, pos: pos, receiver: r, meter: meter}
 	m.endpoints[id] = ep
+	if m.shard != nil {
+		// Sharded media are built over a pre-frozen global topology: the
+		// node's dense index is its ID (the builder registers dense IDs in
+		// order) and the topology must never be invalidated or recompiled.
+		if int(id) >= len(m.shard.localEp) {
+			panic(fmt.Sprintf("radio: node %d outside the sharded topology (%d nodes)", id, len(m.shard.localEp)))
+		}
+		ep.idx = int(id)
+		m.shard.localEp[id] = ep
+		return
+	}
 	m.topo = nil // invalidate the frozen topology
 }
 
@@ -352,6 +383,9 @@ func (m *Medium) AddNode(id NodeID, pos geom.Vec2, r Receiver, meter *energy.Met
 // topology compilation itself needs. An injected preset (SetTopology) is
 // adopted instead of compiling when its node count and range still match.
 func (m *Medium) freeze() {
+	if m.shard != nil {
+		panic("radio: sharded medium must not recompile its topology")
+	}
 	m.ids = m.ids[:0]
 	for id := range m.endpoints {
 		m.ids = append(m.ids, id)
@@ -396,6 +430,12 @@ func (m *Medium) NeighborIDs(id NodeID) []NodeID {
 	row, _ := m.topo.Row(ep.idx)
 	var out []NodeID
 	for _, j := range row {
+		if m.shard != nil {
+			// Sharded media index the global topology directly: dense index
+			// and node ID coincide by the builder contract.
+			out = append(out, NodeID(j))
+			continue
+		}
 		out = append(out, m.ids[j])
 	}
 	return out
@@ -421,6 +461,7 @@ func (m *Medium) newDelivery() *delivery {
 func (m *Medium) freeDelivery(d *delivery) {
 	d.env = Envelope{}
 	d.targets = d.targets[:0]
+	d.rowPos = d.rowPos[:0]
 	m.freeDeliveries = append(m.freeDeliveries, d)
 }
 
@@ -441,6 +482,10 @@ func (m *Medium) freeDelivery(d *delivery) {
 // distances a live spatial-hash query would derive — only the O(buckets)
 // window scan, the distance recomputation and the candidate sort are gone.
 func (m *Medium) Broadcast(from NodeID, env Envelope) {
+	if m.shard != nil {
+		m.broadcastSharded(from, env)
+		return
+	}
 	sender, ok := m.endpoints[from]
 	if !ok {
 		panic(fmt.Sprintf("radio: broadcast from unregistered node %d", from))
@@ -520,7 +565,13 @@ func (m *Medium) BroadcastMessage(from NodeID, msg Message) {
 // the record. An agent's Deliver may broadcast immediately; that nested call
 // claims its own record, so the one being iterated is never mutated.
 func (m *Medium) runDelivery(d *delivery) {
-	for _, target := range d.targets {
+	for i, target := range d.targets {
+		if m.shard != nil {
+			// Re-align the intra-fan-out schedule key space: events this
+			// receiver's Deliver schedules must merge in global row order
+			// with the fan-out's fragments on other shards.
+			m.kernel.SetFanKey(int(d.rowPos[i]))
+		}
 		if m.collisions && d.end <= target.corruptUntil+1e-12 {
 			m.stats.DroppedCollision++
 			continue

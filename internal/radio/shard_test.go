@@ -1,0 +1,190 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// shardFixture wires four nodes in a line across two shards over one frozen
+// topology: 0—1 on shard 0, 2—3 on shard 1, with 1 in range of both 2 and 3
+// so one broadcast stages a deduplicated two-target boundary record.
+func shardFixture(t *testing.T) (*sim.ShardGroup, []*Medium, []*sink) {
+	t.Helper()
+	field := geom.R(0, 0, 100, 100)
+	positions := []geom.Vec2{
+		geom.V(10, 50),   // 0: shard 0, hears 1
+		geom.V(14, 50),   // 1: shard 0, hears 0, 2, 3
+		geom.V(17, 50),   // 2: shard 1, hears 1, 3
+		geom.V(18.5, 50), // 3: shard 1, hears 1, 2
+	}
+	owner := []int32{0, 0, 1, 1}
+	topo := CompileTopology(field, positions, 5)
+	group := sim.NewShardGroup(2)
+	media := NewShardedMedia(group, field, energy.Telos(), UnitDisk{Range: 5}, topo, owner, 12)
+	sinks := make([]*sink, len(positions))
+	for i, pos := range positions {
+		m := media[owner[i]]
+		sinks[i] = &sink{listening: true, k: m.kernel}
+		m.AddNode(NodeID(i), pos, sinks[i], nil)
+	}
+	return group, media, sinks
+}
+
+// TestShardedBroadcastDirect drives the construction-mode path: a broadcast
+// spanning the shard cut delivers to the local fragment through the ordinary
+// fan-out event and to the remote shard through an immediately flushed
+// boundary record — one record for both remote receivers.
+func TestShardedBroadcastDirect(t *testing.T) {
+	group, media, sinks := shardFixture(t)
+	env := Envelope{Kind: KindRequest, Wire: 12}
+	media[0].Broadcast(1, env)
+	if media[1].kernel.Pending() == 0 {
+		t.Fatal("direct-mode broadcast staged nothing into the remote kernel")
+	}
+	for i := 0; i < group.Shards(); i++ {
+		group.Shard(i).Run()
+	}
+	for _, i := range []int{0, 2, 3} {
+		if len(sinks[i].got) != 1 {
+			t.Fatalf("node %d got %d deliveries, want 1", i, len(sinks[i].got))
+		}
+		if sinks[i].got[0].from != 1 {
+			t.Fatalf("node %d heard node %d, want 1", i, sinks[i].got[0].from)
+		}
+	}
+	if len(sinks[1].got) != 0 {
+		t.Fatalf("sender heard its own broadcast %d times", len(sinks[1].got))
+	}
+	if st := media[0].Stats(); st.Broadcasts != 1 || st.BytesSent != 12 {
+		t.Fatalf("sender-shard stats %+v, want 1 broadcast / 12 bytes", st)
+	}
+}
+
+// TestShardedBroadcastAllRemote pins the reserved-sequence path: when every
+// surviving receiver lives on another shard, the sender still consumes the
+// serial fan-out's sequence position (ReserveSeq) so downstream ordering
+// matches the one-kernel run.
+func TestShardedBroadcastAllRemote(t *testing.T) {
+	field := geom.R(0, 0, 100, 100)
+	positions := []geom.Vec2{geom.V(10, 50), geom.V(13, 50)}
+	topo := CompileTopology(field, positions, 5)
+	group := sim.NewShardGroup(2)
+	media := NewShardedMedia(group, field, energy.Telos(), UnitDisk{Range: 5}, topo, []int32{0, 1}, 12)
+	rx := &sink{listening: true, k: media[1].kernel}
+	media[0].AddNode(0, positions[0], &sink{listening: true, k: media[0].kernel}, nil)
+	media[1].AddNode(1, positions[1], rx, nil)
+
+	media[0].Broadcast(0, Envelope{Kind: KindRequest, Wire: 12})
+	group.Shard(1).Run()
+	if len(rx.got) != 1 || rx.got[0].from != 0 {
+		t.Fatalf("remote-only broadcast delivered %+v, want one delivery from 0", rx.got)
+	}
+}
+
+// TestShardedBroadcastNoReceivers pins the empty-row default branch: an
+// isolated sender schedules nothing, stages nothing and consumes no
+// sequence position.
+func TestShardedBroadcastNoReceivers(t *testing.T) {
+	field := geom.R(0, 0, 100, 100)
+	positions := []geom.Vec2{geom.V(10, 50), geom.V(90, 50)}
+	topo := CompileTopology(field, positions, 5)
+	group := sim.NewShardGroup(2)
+	media := NewShardedMedia(group, field, energy.Telos(), UnitDisk{Range: 5}, topo, []int32{0, 1}, 12)
+	media[0].AddNode(0, positions[0], &sink{listening: true, k: media[0].kernel}, nil)
+	media[1].AddNode(1, positions[1], &sink{listening: true, k: media[1].kernel}, nil)
+	media[0].Broadcast(0, Envelope{Kind: KindRequest, Wire: 12})
+	if p := media[0].kernel.Pending() + media[1].kernel.Pending(); p != 0 {
+		t.Fatalf("isolated broadcast left %d pending events, want 0", p)
+	}
+}
+
+// TestShardedBroadcastWindowed drives the windowed path in-package: a
+// broadcast fired from inside an event gets a provisional sequence, the
+// barrier merge resolves it, and FlushBoundary injects the remote fragment
+// under the resolved serial key.
+func TestShardedBroadcastWindowed(t *testing.T) {
+	group, media, sinks := shardFixture(t)
+	group.BeginWindows()
+	w := energy.Telos().TxTime(12)
+	media[0].kernel.ScheduleAt(1.0, func(k *sim.Kernel) {
+		media[0].Broadcast(1, Envelope{Kind: KindRequest, Wire: 12})
+	})
+	for i := 0; i < group.Shards(); i++ {
+		group.Shard(i).RunWindow(1.0 + w)
+	}
+	group.EndWindow()
+	for _, m := range media {
+		m.FlushBoundary()
+	}
+	for i := 0; i < group.Shards(); i++ {
+		group.Shard(i).RunUntil(2.0)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if len(sinks[i].got) != 1 || sinks[i].got[0].from != 1 {
+			t.Fatalf("node %d deliveries %+v, want one from 1", i, sinks[i].got)
+		}
+		if at := sinks[i].got[0].at; at != 1.0+w {
+			t.Fatalf("node %d delivered at %g, want %g", i, at, 1.0+w)
+		}
+	}
+}
+
+// TestShardedNeighborIDs pins the global-index neighbour listing on sharded
+// media: dense index == node ID by the builder contract.
+func TestShardedNeighborIDs(t *testing.T) {
+	_, media, _ := shardFixture(t)
+	got := media[0].NeighborIDs(1)
+	want := []NodeID{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("NeighborIDs(1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NeighborIDs(1) = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestShardedMediaPanics pins every loud failure mode of the sharded
+// configuration contract.
+func TestShardedMediaPanics(t *testing.T) {
+	field := geom.R(0, 0, 100, 100)
+	positions := []geom.Vec2{geom.V(10, 50), geom.V(13, 50)}
+	topo := CompileTopology(field, positions, 5)
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("non-UnitDisk loss", func() {
+		NewShardedMedia(sim.NewShardGroup(2), field, energy.Telos(), LossyDisk{Range: 5, LossProb: 0.1}, topo, []int32{0, 1}, 12)
+	})
+	expectPanic("owner/topology mismatch", func() {
+		NewShardedMedia(sim.NewShardGroup(2), field, energy.Telos(), UnitDisk{Range: 5}, topo, []int32{0}, 12)
+	})
+	expectPanic("invalid minWire", func() {
+		NewShardedMedia(sim.NewShardGroup(2), field, energy.Telos(), UnitDisk{Range: 5}, topo, []int32{0, 1}, 0)
+	})
+
+	group := sim.NewShardGroup(2)
+	media := NewShardedMedia(group, field, energy.Telos(), UnitDisk{Range: 5}, topo, []int32{0, 1}, 12)
+	media[0].AddNode(0, positions[0], &sink{listening: true, k: media[0].kernel}, nil)
+	expectPanic("broadcast from a non-local sender", func() {
+		media[0].Broadcast(1, Envelope{Kind: KindRequest, Wire: 12})
+	})
+	expectPanic("broadcast below the window lookahead", func() {
+		media[0].Broadcast(0, Envelope{Kind: KindRequest, Wire: 8})
+	})
+	expectPanic("node outside the sharded topology", func() {
+		media[1].AddNode(7, geom.V(20, 50), &sink{listening: true, k: media[1].kernel}, nil)
+	})
+	expectPanic("EnableCollisions on a sharded medium", func() { media[0].EnableCollisions() })
+	expectPanic("EnableCSMA on a sharded medium", func() { media[0].EnableCSMA(DefaultCSMA()) })
+}

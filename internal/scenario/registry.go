@@ -150,6 +150,8 @@ func All() []Scenario {
 		Scale(100),
 		Scale(1000),
 		Scale(10000),
+		Scale(100000),
+		Scale(1000000),
 	}
 }
 
@@ -180,9 +182,12 @@ func Scale(n int) Scenario {
 	}
 }
 
-// scaleName renders the registry key of a Scale scenario ("scale-10k").
+// scaleName renders the registry key of a Scale scenario ("scale-10k",
+// "scale-1m").
 func scaleName(n int) string {
 	switch {
+	case n >= 1000000 && n%1000000 == 0:
+		return fmt.Sprintf("scale-%dm", n/1000000)
 	case n >= 1000 && n%1000 == 0:
 		return fmt.Sprintf("scale-%dk", n/1000)
 	default:

@@ -169,7 +169,10 @@ func TestDeploymentSpecDefaults(t *testing.T) {
 }
 
 func TestScaleScenario(t *testing.T) {
-	for n, name := range map[int]string{100: "scale-100", 1000: "scale-1k", 10000: "scale-10k"} {
+	for n, name := range map[int]string{
+		100: "scale-100", 1000: "scale-1k", 10000: "scale-10k",
+		100000: "scale-100k", 1000000: "scale-1m", 2500: "scale-2500",
+	} {
 		sp := Scale(n)
 		if sp.Name != name {
 			t.Errorf("Scale(%d).Name = %q, want %q", n, sp.Name, name)

@@ -83,11 +83,27 @@ type Kernel struct {
 	live  int     // pending (scheduled, not yet executed or cancelled)
 
 	nextSeq uint64
+	// lastSeq is the sequence number of the most recently scheduled event,
+	// so batched subsystems (the sharded radio) can alias further events —
+	// cross-shard sub-fan-outs — onto the same serial position.
+	lastSeq uint64
 	// processed counts events executed, for diagnostics and benchmarks.
 	processed uint64
 	// tracer, when non-nil, observes every executed event.
 	tracer func(at Time)
+	// ws, when non-nil, makes this kernel one shard of a ShardGroup: sequence
+	// numbers come from the group's serial-order reconstruction instead of
+	// the local counter (see window.go). Nil for ordinary serial kernels, so
+	// the serial path is byte-identical to the pre-sharding kernel.
+	ws *winSeq
 }
+
+// maxArenaSlots caps the arena so a slot index always fits int32. It is a
+// variable only so tests can lower it and exercise the guard without
+// scheduling 2^31 events; the default is the hard int32 ceiling. Without the
+// guard, growing past it would silently compute a wrapped (negative or
+// aliased) slot index and corrupt the heap rather than fail.
+var maxArenaSlots = math.MaxInt32
 
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel { return &Kernel{} }
@@ -105,9 +121,10 @@ func (k *Kernel) Pending() int { return k.live }
 // event; pass nil to disable.
 func (k *Kernel) SetTracer(f func(at Time)) { k.tracer = f }
 
-// scheduleSlot claims an arena slot for an event at the given time and links
-// it into the heap; the caller fills in the handler fields.
-func (k *Kernel) scheduleSlot(at Time) (int32, *event) {
+// claimSlot claims an arena slot for an event at the given time; the caller
+// assigns the sequence number and handler fields, then links it into the
+// heap (the heap orders by seq, so the push must come after the assignment).
+func (k *Kernel) claimSlot(at Time) (int32, *event) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
@@ -119,13 +136,28 @@ func (k *Kernel) scheduleSlot(at Time) (int32, *event) {
 		slot = k.free[n-1]
 		k.free = k.free[:n-1]
 	} else {
+		if len(k.arena) >= maxArenaSlots {
+			panic(fmt.Sprintf("sim: event arena grew to %d slots, exceeding int32 slot indexing", len(k.arena)))
+		}
 		k.arena = append(k.arena, event{})
 		slot = int32(len(k.arena) - 1)
 	}
 	e := &k.arena[slot]
 	e.at = at
-	e.seq = k.nextSeq
-	k.nextSeq++
+	return slot, e
+}
+
+// scheduleSlot claims an arena slot, assigns the next sequence number and
+// links the slot into the heap; the caller fills in the handler fields.
+func (k *Kernel) scheduleSlot(at Time) (int32, *event) {
+	slot, e := k.claimSlot(at)
+	if k.ws != nil {
+		e.seq = k.ws.nextSeq(slot, e.gen)
+	} else {
+		e.seq = k.nextSeq
+		k.nextSeq++
+	}
+	k.lastSeq = e.seq
 	k.live++
 	k.heapPush(slot)
 	return slot, e
@@ -213,12 +245,18 @@ func (k *Kernel) Step() bool {
 			continue
 		}
 		h, ah, arg, at := e.handler, e.argh, e.arg, e.at
+		seq := e.seq
 		k.retire(slot)
 		k.live--
 		k.now = at
 		k.processed++
 		if k.tracer != nil {
 			k.tracer(at)
+		}
+		if k.ws != nil {
+			// Sharded mode: record the execution key so events this handler
+			// schedules can be ordered exactly as the serial kernel would.
+			k.ws.begin(at, seq)
 		}
 		if ah != nil {
 			ah(k, arg)

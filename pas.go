@@ -167,6 +167,24 @@
 //     instead of re-deriving both per protocol × seed
 //     (BenchmarkScale10kColdStart measures the memoization-free worst
 //     case).
+//   - The event kernel shards across cores without changing a single output
+//     bit: RunConfig.Shards > 0 (passim -shards N) partitions the deployment
+//     into contiguous spatial strips over the frozen CSR topology, gives
+//     each strip its own arena kernel and medium, and advances all shards in
+//     lockstep conservative windows of length W = TxTime(minWire) — the
+//     shortest possible on-air transmission, hence the minimum delay before
+//     an event on one shard can influence another. Cross-shard deliveries
+//     are staged as boundary events and exchanged at window barriers, and a
+//     per-window sequence merge (internal/sim.ShardGroup) reconstructs the
+//     exact serial event order, so a sharded run is bit-identical to the
+//     serial kernel at ANY shard count — same RunReport, same per-node
+//     table, same golden traces (the byte-identity tests pin 1, 2 and 8
+//     shards against serial on a full scale-1k run). Sharding requires the
+//     deterministic transmit path: exact unit-disk loss, no collisions, no
+//     CSMA, no fault plan (experiment.Shardable gates, with a clear error).
+//     scale-100k and scale-1m join the scenario registry as the workloads
+//     this enables; BenchmarkScale100k (4 shards) is the baselined headline,
+//     with BenchmarkScale100kSerial as its 1-shard speedup reference.
 //
 // Determinism is pinned by golden-trace snapshots
 // (internal/experiment/testdata/golden): fresh serial and 8-way-parallel
@@ -182,8 +200,15 @@
 //	pasbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
 //	go tool pprof cpu.out
 //
-// BENCH_2.json pins the benchmark baseline (BENCH_1.json is kept as the
-// pre-CSR historical point); `go run ./cmd/benchcheck` compares fresh
+// Scale is bounded by int32 indexing in the hot structures — CSR point and
+// edge counts (internal/geom) and kernel arena slots (internal/sim) — and
+// each bound is enforced by a loud panic at the exact overflow point rather
+// than silent wraparound; capacity-guard tests pin every guard path. A
+// scale-1m run fits comfortably (~1M nodes, ~30M directed CSR edges against
+// the 2^31 ceilings).
+//
+// BENCH_3.json pins the benchmark baseline (BENCH_1.json and BENCH_2.json
+// are kept as historical points); `go run ./cmd/benchcheck` compares fresh
 // `go test -bench` output against it (CI does this automatically, warning
 // on >20% drift in ns/op or allocs/op — for the zero-alloc baselines any
 // allocation at all warns — and publishes the comparison as machine-readable
