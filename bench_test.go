@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -360,7 +361,7 @@ func BenchmarkBroadcastDeliver(b *testing.B) {
 		m.AddNode(radio.NodeID(i), pos, sinks[i], energy.NewMeter(energy.Telos(), 0, energy.ModeActive))
 	}
 	env := core.Response{
-		Pos: geom.V(50, 50), Velocity: geom.V(1, 0), HasVelocity: true,
+		Pos: geom.V(50, 50), Velocity: geom.V(1, 0), HasVelocity: true, HasDirection: true,
 		PredictedArrival: 42, DetectedAt: 40, Detected: true,
 	}.Envelope()
 	// Warm the kernel arena, neighbour scratch and delivery pool.
@@ -579,7 +580,7 @@ func BenchmarkEstimatorMinETA(b *testing.B) {
 				}
 				return node.StateAlert
 			}(),
-			Velocity: geom.V(0.5, 0.1), HasVelocity: true,
+			Velocity: geom.V(0.5, 0.1), HasVelocity: true, HasDirection: true,
 			PredictedArrival: float64(20 + i), DetectedAt: float64(10 + i), Detected: i%2 == 0,
 			ReceivedAt: float64(15 + i),
 		}
@@ -589,6 +590,55 @@ func BenchmarkEstimatorMinETA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.MinETA(x, 30, reports, 45)
 	}
+}
+
+// BenchmarkPredictorStep times one Refresh+Announce cycle through every
+// registered predictor kind over a small report snapshot — the per-wakeup
+// cost a PAS agent pays for its prediction subsystem. The acceptance bar is
+// 0 allocs/op: the filters run on fixed-size in-struct state.
+func BenchmarkPredictorStep(b *testing.B) {
+	reports := make([]core.NeighborReport, 4)
+	for i := range reports {
+		reports[i] = core.NeighborReport{
+			ID:  pas.NodeID(i),
+			Pos: geom.V(float64(i), float64(i%3)),
+			State: func() node.State {
+				if i%2 == 0 {
+					return node.StateCovered
+				}
+				return node.StateAlert
+			}(),
+			Velocity: geom.V(0.5, 0.1), HasVelocity: true, HasDirection: true,
+			PredictedArrival: float64(20 + i), DetectedAt: float64(10 + i), Detected: i%2 == 0,
+			ReceivedAt: float64(15 + i),
+		}
+	}
+	for _, k := range predict.Kinds() {
+		b.Run(k, func(b *testing.B) {
+			var m predict.Model
+			m.Init(predict.Spec{Kind: k}, predict.EstimatorConfig{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := 30 + 0.1*float64(i%100)
+				m.Refresh(predict.Input{Pos: geom.V(20, 1), Now: now, Reports: reports})
+				m.Announce(0.1, now)
+			}
+		})
+	}
+}
+
+func BenchmarkExtPredictors(b *testing.B) {
+	var res pas.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.ExtPredictors(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastY(res, "radial"), "radial-delay-s")
+	b.ReportMetric(lastY(res, "radial rmse (s)"), "radial-rmse-s")
 }
 
 func BenchmarkPlumeBuild(b *testing.B) {
@@ -640,7 +690,7 @@ func BenchmarkServeCacheHit(b *testing.B) {
 func BenchmarkResponseCodec(b *testing.B) {
 	r := core.Response{
 		Pos: geom.V(1, 2), State: node.StateAlert,
-		Velocity: geom.V(0.5, 0.25), HasVelocity: true,
+		Velocity: geom.V(0.5, 0.25), HasVelocity: true, HasDirection: true,
 		PredictedArrival: 42, DetectedAt: 40, Detected: true,
 	}
 	buf := r.Encode() // pre-grow the reused buffer

@@ -9,7 +9,8 @@
 //	pasbench -exp all -parallel 8     # fan runs out over 8 workers
 //	pasbench -exp ext-scale           # 100/1k/10k-node scale sweep
 //	pasbench -scenario scale-1k       # generic sweep over one registry scenario
-//	pasbench -list                    # show experiment IDs and scenario names
+//	pasbench -scenario paper -predictor kalman   # same sweep, PAS predictor pinned
+//	pasbench -list                    # show experiment IDs, scenarios, predictors
 //
 // Hot-path investigations profile the harness directly, no hand-written
 // pprof scaffolding needed:
@@ -41,6 +42,7 @@ func main() {
 type config struct {
 	expID      string
 	scenario   string
+	predictor  string
 	quick      bool
 	csvDir     string
 	list       bool
@@ -61,6 +63,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	)
 	fs.StringVar(&c.expID, "exp", "all", "experiment id to run, or 'all'")
 	fs.StringVar(&c.scenario, "scenario", "", "run the generic maxSleep sweep over this registry scenario instead of -exp")
+	fs.StringVar(&c.predictor, "predictor", "", "pin the PAS arrival predictor of a -scenario sweep (paper, lms, ewma, ar, kalman, switching)")
 	fs.BoolVar(&c.quick, "quick", false, "reduced sweeps and replication")
 	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-experiment CSV files")
 	fs.BoolVar(&c.list, "list", false, "list experiment ids and exit")
@@ -80,16 +83,19 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 // experiment and scenario registries. The two selectors conflict: a
 // non-default -exp next to -scenario is rejected rather than silently
 // ignored.
-func selectExperiments(expID, scenarioName string) ([]pas.Experiment, error) {
+func selectExperiments(expID, scenarioName, predictor string) ([]pas.Experiment, error) {
 	if scenarioName != "" {
 		if expID != "all" {
 			return nil, fmt.Errorf("-exp %s and -scenario %s are mutually exclusive; drop one", expID, scenarioName)
 		}
-		e, err := pas.ScenarioSweepExperiment(scenarioName)
+		e, err := pas.ScenarioSweepPredictorExperiment(scenarioName, predictor)
 		if err != nil {
 			return nil, err
 		}
 		return []pas.Experiment{e}, nil
+	}
+	if predictor != "" {
+		return nil, fmt.Errorf("-predictor needs -scenario; registry experiments pick their own predictors")
 	}
 	if expID == "all" {
 		return pas.Experiments(), nil
@@ -125,10 +131,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, sp := range sps {
 			fmt.Fprintf(stdout, "%-16s %s\n", sp.Name, sp.Description)
 		}
+		fmt.Fprintln(stdout, "\npredictors (-predictor):")
+		for _, k := range pas.PredictorKinds() {
+			sum, _ := pas.DescribePredictor(k)
+			fmt.Fprintf(stdout, "%-16s %s\n", k, sum)
+		}
 		return 0
 	}
 
-	targets, err := selectExperiments(c.expID, c.scenario)
+	targets, err := selectExperiments(c.expID, c.scenario, c.predictor)
 	if err != nil {
 		fmt.Fprintf(stderr, "pasbench: %v\n", err)
 		return 2

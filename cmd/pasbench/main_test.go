@@ -53,29 +53,57 @@ func TestParseFlagsBadFlag(t *testing.T) {
 }
 
 func TestSelectExperiments(t *testing.T) {
-	all, err := selectExperiments("all", "")
+	all, err := selectExperiments("all", "", "")
 	if err != nil || len(all) < 15 {
 		t.Fatalf("all: %d experiments, err %v", len(all), err)
 	}
-	one, err := selectExperiments("fig4", "")
+	one, err := selectExperiments("fig4", "", "")
 	if err != nil || len(one) != 1 || one[0].ID != "fig4" {
 		t.Fatalf("fig4: %+v, err %v", one, err)
 	}
-	if _, err := selectExperiments("fig99", ""); err == nil {
+	if _, err := selectExperiments("fig99", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 	// -scenario selects the generic sweep and wins over -exp.
-	sw, err := selectExperiments("all", "poisson")
+	sw, err := selectExperiments("all", "poisson", "")
 	if err != nil || len(sw) != 1 || sw[0].ID != "scenario-poisson" {
 		t.Fatalf("scenario sweep: %+v, err %v", sw, err)
 	}
-	if _, err := selectExperiments("all", "atlantis"); err == nil {
+	if _, err := selectExperiments("all", "atlantis", ""); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 	// An explicit experiment next to -scenario is a conflict, not a silent
 	// override.
-	if _, err := selectExperiments("fig4", "poisson"); err == nil {
+	if _, err := selectExperiments("fig4", "poisson", ""); err == nil {
 		t.Fatal("conflicting -exp and -scenario accepted")
+	}
+	// -predictor pins the sweep's PAS predictor and shows up in the id.
+	pr, err := selectExperiments("all", "poisson", "kalman")
+	if err != nil || len(pr) != 1 || pr[0].ID != "scenario-poisson-kalman" {
+		t.Fatalf("predictor sweep: %+v, err %v", pr, err)
+	}
+	if _, err := selectExperiments("all", "poisson", "psychic"); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+	// -predictor without -scenario has nothing to apply to.
+	if _, err := selectExperiments("all", "", "kalman"); err == nil {
+		t.Fatal("-predictor without -scenario accepted")
+	}
+}
+
+// TestRunListIncludesPredictors pins the -list predictors section.
+func TestRunListIncludesPredictors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(stdout.String(), "predictors (-predictor):") {
+		t.Fatalf("-list missing predictors section: %q", stdout.String())
+	}
+	for _, k := range []string{"paper", "lms", "ewma", "ar", "kalman", "switching"} {
+		if !strings.Contains(stdout.String(), k) {
+			t.Errorf("-list output missing predictor %s", k)
+		}
 	}
 }
 
@@ -129,6 +157,9 @@ func TestRunListSorted(t *testing.T) {
 	if len(parts) != 2 {
 		t.Fatalf("missing scenarios section: %q", stdout.String())
 	}
+	// The predictors section keeps registry order (paper first) on purpose;
+	// only the experiment and scenario listings are sorted.
+	parts[1] = strings.SplitN(parts[1], "predictors (-predictor):", 2)[0]
 	for half, text := range map[string]string{"experiments": parts[0], "scenarios": parts[1]} {
 		var keys []string
 		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {

@@ -49,6 +49,7 @@ type config struct {
 	lossProb     float64
 	failFrac     float64
 	shards       int
+	predictor    string
 
 	// set records which flags were explicitly given, so scenario-supplied
 	// values are only overridden on purpose.
@@ -74,6 +75,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.Float64Var(&c.lossProb, "loss", 0, "packet loss probability (0 = the scenario's channel)")
 	fs.Float64Var(&c.failFrac, "fail", 0, "fraction of nodes to fail at random times")
 	fs.IntVar(&c.shards, "shards", 0, "run on that many spatially sharded kernels (0 = serial); output is bit-identical to serial")
+	fs.StringVar(&c.predictor, "predictor", "", "PAS arrival predictor: paper, lms, ewma, ar, kalman, switching (default: the scenario's)")
 	fs.BoolVar(&c.table, "table", false, "print the per-node table")
 	err := fs.Parse(args)
 	c.set = map[string]bool{}
@@ -145,6 +147,14 @@ func buildRunConfig(c config) (pas.RunConfig, error) {
 	if c.set["threshold"] || sp.Protocol.AlertThreshold == 0 {
 		cfg.PAS.AlertThreshold = c.thresh
 	}
+	if c.set["predictor"] {
+		// An explicit flag beats the scenario's predictor section;
+		// -predictor paper restores the default estimator.
+		if _, ok := pas.DescribePredictor(c.predictor); !ok {
+			return pas.RunConfig{}, fmt.Errorf("unknown predictor %q (one of %v)", c.predictor, pas.PredictorKinds())
+		}
+		cfg.PAS.Predictor = pas.PredictorConfig{Kind: c.predictor}
+	}
 	if c.set["loss"] {
 		// Explicit -loss replaces the scenario's channel outright; -loss 0
 		// restores the perfect unit disk.
@@ -209,7 +219,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// configurations; every single-run flag would be silently dropped,
 		// so reject them (only -seed/-reps/-parallel carry over).
 		for _, conflict := range []string{"scenario", "scenario-file", "table",
-			"protocol", "nodes", "range", "maxsleep", "threshold", "loss", "fail", "shards"} {
+			"protocol", "nodes", "range", "maxsleep", "threshold", "loss", "fail", "shards", "predictor"} {
 			if c.set[conflict] {
 				fmt.Fprintf(stderr, "passim: -exp and -%s are mutually exclusive; drop one\n", conflict)
 				return 2

@@ -63,6 +63,36 @@ func TestBuildRunConfigFlagsReachConfig(t *testing.T) {
 	}
 }
 
+func TestPredictorFlagReachesConfig(t *testing.T) {
+	c, err := parseFlags([]string{"-predictor", "switching"}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildRunConfig(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PAS.Predictor.Kind != "switching" {
+		t.Errorf("predictor not plumbed: %+v", cfg.PAS.Predictor)
+	}
+	// Untouched flag defers to the scenario (paper has no predictor section).
+	c, err = parseFlags(nil, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg, err = buildRunConfig(c); err != nil || cfg.PAS.Predictor.Kind != "" {
+		t.Errorf("default predictor = %+v, err %v", cfg.PAS.Predictor, err)
+	}
+	// Unknown kinds are a clean flag error.
+	c, err = parseFlags([]string{"-predictor", "psychic"}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildRunConfig(c); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
 func TestReplicationSeeds(t *testing.T) {
 	got := replicationSeeds(5, 3)
 	want := []int64{5, 6, 7}
@@ -354,6 +384,7 @@ func TestRunExperimentRejectsSingleRunFlags(t *testing.T) {
 		{"-exp", "table1", "-maxsleep", "30"},
 		{"-exp", "table1", "-nodes", "50"},
 		{"-exp", "table1", "-loss", "0.2"},
+		{"-exp", "table1", "-predictor", "kalman"},
 	} {
 		var stdout, stderr strings.Builder
 		if code := run(conflict, &stdout, &stderr); code != 2 {

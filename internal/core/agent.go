@@ -1,12 +1,12 @@
 package core
 
 import (
-	"math"
 	"slices"
 
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/sim"
 )
@@ -25,6 +25,10 @@ import (
 //	          neighbours, computes the actual spreading velocity from the
 //	          covered ones and broadcasts the new estimate. When the
 //	          stimulus leaves, a detection timeout returns it to safe.
+//
+// Prediction itself — the velocity estimate, the arrival-time model, and
+// the rebroadcast gate — is delegated to the predict.Model selected by
+// cfg.Predictor; the zero spec is the paper's §3.3 estimator.
 type Agent struct {
 	cfg      Config
 	n        *node.Node // bound at Init; the arg handlers below reach it here
@@ -32,9 +36,9 @@ type Agent struct {
 	scratch  []NeighborReport // reused snapshot buffer for the estimators
 	schedule SleepSchedule
 
-	velocity    geom.Vec2
-	hasVelocity bool
-	predicted   float64 // absolute predicted arrival at this node (+Inf unknown)
+	// model is the pluggable prediction subsystem, embedded by value so
+	// slab-carved agents stay allocation-free.
+	model predict.Model
 
 	decision       sim.Timer // end of a REQUEST's response window
 	reassess       sim.Timer // alert-state periodic re-evaluation
@@ -66,11 +70,15 @@ func New(cfg Config) *Agent {
 // fill initializes an agent in place — shared by New and the slab factory.
 func (a *Agent) fill(cfg Config) {
 	*a = Agent{
-		cfg:       cfg,
-		reports:   make(map[radio.NodeID]NeighborReport),
-		schedule:  MakeSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
-		predicted: math.Inf(1),
+		cfg:      cfg,
+		reports:  make(map[radio.NodeID]NeighborReport),
+		schedule: MakeSleepSchedule(cfg.SleepInit, cfg.SleepIncrement, cfg.SleepMax),
 	}
+	a.model.Init(cfg.Predictor, predict.EstimatorConfig{
+		UseMeanETA:              cfg.UseMeanETA,
+		MaxReportAge:            cfg.MaxReportAge,
+		DisableExpectedVelocity: cfg.DisableExpectedVelocity,
+	})
 }
 
 // NewSlab returns a factory producing up to n agents carved from one
@@ -113,8 +121,7 @@ func agentReassess(_ *sim.Kernel, arg any) {
 	if n.Sense() {
 		return // detection takes over (OnDetect ran)
 	}
-	a.refreshEstimate(n, true)
-	if eta := a.currentETA(n); eta >= a.cfg.AlertThreshold {
+	if eta := a.refreshEstimate(n); eta >= a.cfg.AlertThreshold {
 		a.enterSafe(n, true)
 		return
 	}
@@ -126,7 +133,7 @@ func agentVelocityWindow(_ *sim.Kernel, arg any) {
 	n := a.n
 	v, ok := ActualVelocity(n.Pos(), a.detectedAt, a.reportSlice(), a.cfg.MinVelocityDt)
 	if ok {
-		a.velocity, a.hasVelocity = v, true
+		a.model.SetVelocity(v)
 	}
 	if a.cfg.Hook != nil && a.cfg.Hook.Velocity != nil {
 		a.cfg.Hook.Velocity(int(n.ID()), v.X, v.Y, ok)
@@ -171,7 +178,7 @@ func agentLivenessTick(_ *sim.Kernel, arg any) {
 
 // Predicted returns the agent's current absolute arrival prediction (+Inf
 // when unknown); exposed for tests and the visualizer.
-func (a *Agent) Predicted() float64 { return a.predicted }
+func (a *Agent) Predicted() float64 { return a.model.Predicted() }
 
 // LivenessStats snapshots the liveness tracker (zero value when tracking is
 // disabled). Metrics collectors reach it through node.Agent type assertion.
@@ -182,8 +189,12 @@ func (a *Agent) LivenessStats() fault.LivenessStats {
 	return a.live.Stats()
 }
 
+// PredictionStats snapshots the predictor's per-run quality counters.
+// Metrics collectors reach it through node.Agent type assertion.
+func (a *Agent) PredictionStats() predict.Stats { return a.model.Stats() }
+
 // Velocity returns the agent's current spreading-velocity estimate.
-func (a *Agent) Velocity() (geom.Vec2, bool) { return a.velocity, a.hasVelocity }
+func (a *Agent) Velocity() (geom.Vec2, bool) { return a.model.Velocity() }
 
 // Init implements node.Agent: boot in safe state and probe once, then start
 // sleeping. (All sensors boot active; the first probe establishes whether
@@ -215,8 +226,7 @@ func (a *Agent) decide(n *node.Node) {
 	if n.State() == node.StateCovered {
 		return // detection happened inside the window; covered logic owns the node
 	}
-	a.refreshEstimate(n, false)
-	eta := a.currentETA(n)
+	eta := a.refreshEstimate(n)
 	alert := eta < a.cfg.AlertThreshold
 	if a.cfg.Hook != nil && a.cfg.Hook.Decision != nil {
 		a.cfg.Hook.Decision(int(n.ID()), eta, len(a.reports), alert)
@@ -274,7 +284,7 @@ func (a *Agent) OnWake(n *node.Node) {
 func (a *Agent) OnDetect(n *node.Node) {
 	a.detected = true
 	a.detectedAt = n.Now()
-	a.predicted = a.detectedAt // arrival is no longer a prediction
+	a.model.MarkDetected(a.detectedAt) // arrival is no longer a prediction
 	a.reassess.Stop()
 	a.decision.Stop()
 	n.SetState(node.StateCovered)
@@ -332,19 +342,21 @@ func (a *Agent) handleRequest(n *node.Node) {
 // (alert-state behaviour of §3.2: "If a sensor receives a RESPONSE message,
 // it re-calculates the expected arrival time and replies with a RESPONSE
 // message if the difference between the expectations has changed
-// significantly").
+// significantly"). The rebroadcast decision itself belongs to the
+// predictor: the paper kind applies the significant-change rule, the
+// switching kind additionally suppresses reports within its dual-prediction
+// tolerance.
 func (a *Agent) handleResponse(n *node.Node, from radio.NodeID, m Response) {
 	a.reports[from] = reportFromResponse(from, m, n.Now())
 	switch n.State() {
 	case node.StateCovered:
 		// Covered nodes only serve information; their own arrival is fact.
 	case node.StateAlert:
-		changed := a.refreshEstimate(n, true)
-		if eta := a.currentETA(n); eta >= a.cfg.AlertThreshold {
+		if eta := a.refreshEstimate(n); eta >= a.cfg.AlertThreshold {
 			a.enterSafe(n, true)
 			return
 		}
-		if changed {
+		if a.model.Announce(a.cfg.SignificantChange, n.Now()) {
 			a.sendResponse(n)
 		}
 	case node.StateSafe:
@@ -353,67 +365,16 @@ func (a *Agent) handleResponse(n *node.Node, from radio.NodeID, m Response) {
 		}
 		// A safe node awake outside a probe window (e.g. just fell back
 		// from alert within the same instant) re-evaluates directly.
-		a.refreshEstimate(n, false)
-		if eta := a.currentETA(n); eta < a.cfg.AlertThreshold {
+		if eta := a.refreshEstimate(n); eta < a.cfg.AlertThreshold {
 			a.enterAlert(n)
 		}
 	}
 }
 
-// refreshEstimate recomputes the expected velocity and predicted arrival
-// from the report table. It returns whether the prediction changed
-// significantly (per the config fraction). announce selects whether the
-// significant-change test is meaningful for the caller.
-func (a *Agent) refreshEstimate(n *node.Node, announce bool) bool {
-	if !a.detected && !a.cfg.DisableExpectedVelocity {
-		if v, ok := ExpectedVelocity(a.reportSlice()); ok {
-			a.velocity, a.hasVelocity = v, true
-		}
-	}
-	eta := a.currentETA(n)
-	newPred := math.Inf(1)
-	if !math.IsInf(eta, 1) {
-		newPred = n.Now() + eta
-	}
-	old := a.predicted
-	a.predicted = newPred
-	if !announce {
-		return false
-	}
-	return significantChange(old, newPred, a.cfg.SignificantChange, n.Now())
-}
-
-// currentETA aggregates the report table into the node's expected arrival
-// time in seconds from now.
-func (a *Agent) currentETA(n *node.Node) float64 {
-	if a.cfg.UseMeanETA {
-		return MeanETA(n.Pos(), n.Now(), a.reportSlice(), a.cfg.MaxReportAge)
-	}
-	return MinETA(n.Pos(), n.Now(), a.reportSlice(), a.cfg.MaxReportAge)
-}
-
-// significantChange reports whether the predicted arrival moved enough to be
-// worth rebroadcasting: any transition between known and unknown counts, and
-// otherwise the relative change in time-to-arrival must exceed frac.
-func significantChange(old, new, frac, now float64) bool {
-	oldInf := math.IsInf(old, 1)
-	newInf := math.IsInf(new, 1)
-	if oldInf != newInf {
-		return true
-	}
-	if oldInf && newInf {
-		return false
-	}
-	oldETA := old - now
-	newETA := new - now
-	if oldETA < 0 {
-		oldETA = 0
-	}
-	if newETA < 0 {
-		newETA = 0
-	}
-	denom := math.Max(oldETA, 1e-9)
-	return math.Abs(newETA-oldETA)/denom > frac
+// refreshEstimate delegates one prediction refresh to the plugged predictor
+// and returns the expected arrival in seconds from now.
+func (a *Agent) refreshEstimate(n *node.Node) float64 {
+	return a.model.Refresh(predict.Input{Pos: n.Pos(), Now: n.Now(), Reports: a.reportSlice()})
 }
 
 // sendResponse broadcasts the node's current knowledge.
@@ -421,12 +382,16 @@ func (a *Agent) sendResponse(n *node.Node) {
 	if !n.IsAwake() {
 		return
 	}
+	v, hasV := a.model.Velocity()
 	n.Broadcast(Response{
-		Pos:              n.Pos(),
-		State:            n.State(),
-		Velocity:         a.velocity,
-		HasVelocity:      a.hasVelocity,
-		PredictedArrival: a.predicted,
+		Pos:      n.Pos(),
+		State:    n.State(),
+		Velocity: v,
+		// PAS velocity estimates are true vectors (§3.3), so a valid
+		// velocity always carries a valid direction.
+		HasVelocity:      hasV,
+		HasDirection:     hasV,
+		PredictedArrival: a.model.Predicted(),
 		DetectedAt:       a.detectedAt,
 		Detected:         a.detected,
 	}.Envelope())

@@ -74,6 +74,7 @@ func imminentResponse(from geom.Vec2, target geom.Vec2, speed, detectedAt float6
 		State:            node.StateCovered,
 		Velocity:         dir,
 		HasVelocity:      true,
+		HasDirection:     true,
 		PredictedArrival: detectedAt,
 		DetectedAt:       detectedAt,
 		Detected:         true,
@@ -157,7 +158,7 @@ func TestSafeNodeIgnoresRecedingFront(t *testing.T) {
 			// Fast front moving AWAY from the node.
 			sn.Broadcast(Response{
 				Pos: geom.V(-5, 0), State: node.StateCovered,
-				Velocity: geom.V(-3, 0), HasVelocity: true,
+				Velocity: geom.V(-3, 0), HasVelocity: true, HasDirection: true,
 				PredictedArrival: 0, DetectedAt: 0, Detected: true,
 			}.Envelope())
 		})

@@ -11,7 +11,7 @@ import (
 func codecFixture() Response {
 	return Response{
 		Pos: geom.V(1, 2), State: node.StateAlert,
-		Velocity: geom.V(0.5, 0.25), HasVelocity: true,
+		Velocity: geom.V(0.5, 0.25), HasVelocity: true, HasDirection: true,
 		PredictedArrival: 42, DetectedAt: 40, Detected: true,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/predict"
 )
 
 // Config holds the PAS tunables. The two the paper sweeps are
@@ -46,6 +47,10 @@ type Config struct {
 	// actual-velocity estimator; near-simultaneous detections divide a
 	// metre-scale baseline by sensing-latency noise.
 	MinVelocityDt float64
+	// Predictor selects and parameterizes the agent's prediction plugin
+	// (see predict.Kinds). The zero value is the paper's §3.3 estimator —
+	// the spec is a comparable plain value, so Config stays usable with ==.
+	Predictor predict.Spec
 	// UseMeanETA switches the aggregation from the paper's minimum to a
 	// mean (estimator ablation only).
 	UseMeanETA bool
@@ -120,6 +125,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative minimum velocity dt %g", c.MinVelocityDt)
 	}
 	if err := c.Liveness.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Predictor.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil

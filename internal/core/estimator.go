@@ -1,31 +1,23 @@
 package core
 
 import (
-	"math"
-
 	"repro/internal/geom"
-	"repro/internal/node"
+	"repro/internal/predict"
 	"repro/internal/radio"
 )
 
 // NeighborReport is the per-neighbour knowledge a PAS node accumulates from
-// RESPONSE messages.
-type NeighborReport struct {
-	ID               radio.NodeID
-	Pos              geom.Vec2
-	State            node.State
-	Velocity         geom.Vec2
-	HasVelocity      bool
-	PredictedArrival float64
-	DetectedAt       float64
-	Detected         bool
-	ReceivedAt       float64 // local receive time, for aging
-}
+// RESPONSE messages. The type (and the §3.3 estimators below) live in the
+// predict package since PR 9 carved prediction into a plugin layer; the
+// aliases keep the historical core names working.
+type NeighborReport = predict.Report
 
 // ScalarVelocity encodes a speed-only (directionless) estimate as a vector
 // whose magnitude carries the speed; SAS uses it since its simple estimator
-// produces no direction.
-func ScalarVelocity(speed float64) geom.Vec2 { return geom.V(speed, 0) }
+// produces no direction. Responses built from it must leave HasDirection
+// unset, so receivers never mistake the placeholder +x heading for a real
+// one.
+func ScalarVelocity(speed float64) geom.Vec2 { return predict.SpeedOnly(speed) }
 
 // reportFromResponse converts a wire response into a stored report.
 func reportFromResponse(from radio.NodeID, r Response, now float64) NeighborReport {
@@ -35,6 +27,7 @@ func reportFromResponse(from radio.NodeID, r Response, now float64) NeighborRepo
 		State:            r.State,
 		Velocity:         r.Velocity,
 		HasVelocity:      r.HasVelocity,
+		HasDirection:     r.HasDirection,
 		PredictedArrival: r.PredictedArrival,
 		DetectedAt:       r.DetectedAt,
 		Detected:         r.Detected,
@@ -42,144 +35,30 @@ func reportFromResponse(from radio.NodeID, r Response, now float64) NeighborRepo
 	}
 }
 
-// ActualVelocity implements the paper's §3.3 estimator for a node X that has
-// just detected the stimulus:
-//
-//	v_X = (1/n) Σ_I  vec(I→X) / t_I
-//
-// over covered neighbours I, where t_I is the elapsed time between I's
-// detection and X's detection (xDetectedAt − I.DetectedAt). Neighbours whose
-// elapsed time is below minDt are skipped: a near-simultaneous detection
-// pair divides a metre-scale baseline by a near-zero time and produces a
-// wildly overestimated speed (sensing latency noise dominates), so such
-// pairs carry no usable velocity information. The boolean result reports
-// whether any neighbour contributed.
+// ActualVelocity is the paper's §3.3 covered-node estimator; see
+// predict.ActualVelocity.
 func ActualVelocity(x geom.Vec2, xDetectedAt float64, reports []NeighborReport, minDt float64) (geom.Vec2, bool) {
-	if minDt <= 0 {
-		minDt = 1e-9
-	}
-	var sum geom.Vec2
-	n := 0
-	for _, r := range reports {
-		if !r.Detected || r.State != node.StateCovered {
-			continue
-		}
-		dt := xDetectedAt - r.DetectedAt
-		if dt < minDt {
-			continue
-		}
-		sum = sum.Add(x.Sub(r.Pos).Scale(1 / dt))
-		n++
-	}
-	if n == 0 {
-		return geom.Vec2{}, false
-	}
-	return sum.Scale(1 / float64(n)), true
+	return predict.ActualVelocity(x, xDetectedAt, reports, minDt)
 }
 
-// ExpectedVelocity implements the paper's expected-velocity estimator for
-// alert/safe nodes: the arithmetic mean of the velocity vectors reported by
-// covered or alert neighbours.
+// ExpectedVelocity is the paper's alert/safe-node estimator; see
+// predict.ExpectedVelocity.
 func ExpectedVelocity(reports []NeighborReport) (geom.Vec2, bool) {
-	var sum geom.Vec2
-	n := 0
-	for _, r := range reports {
-		if !r.HasVelocity {
-			continue
-		}
-		if r.State != node.StateCovered && r.State != node.StateAlert {
-			continue
-		}
-		sum = sum.Add(r.Velocity)
-		n++
-	}
-	if n == 0 {
-		return geom.Vec2{}, false
-	}
-	return sum.Scale(1 / float64(n)), true
+	return predict.ExpectedVelocity(reports)
 }
 
-// ArrivalETA returns the estimated time from now until the stimulus reaches
-// x, according to a single neighbour report, implementing the paper's
-//
-//	t_X = |I→X| · cos θ_I / v_I
-//
-// with θ_I the angle between the neighbour's velocity and vec(I→X). The raw
-// formula measures travel time from the neighbour's position; it is anchored
-// at the moment the front was (or is predicted to be) at the neighbour:
-// the detection instant for covered neighbours, the neighbour's own
-// predicted arrival for alert neighbours. cos θ ≤ 0 (front moving away) or
-// missing velocity yields +Inf; estimates are clamped at 0 (already due).
+// ArrivalETA is the paper's single-report arrival estimate; see
+// predict.ArrivalETA.
 func ArrivalETA(x geom.Vec2, now float64, r NeighborReport) float64 {
-	if !r.HasVelocity {
-		return math.Inf(1)
-	}
-	speed := r.Velocity.Norm()
-	if speed <= 0 {
-		return math.Inf(1)
-	}
-	ix := x.Sub(r.Pos)
-	dist := ix.Norm()
-	if dist == 0 {
-		// Co-located with the neighbour: due when the front is at I.
-		dist = 0
-	}
-	cos := r.Velocity.CosBetween(ix)
-	if dist > 0 && cos <= 0 {
-		return math.Inf(1)
-	}
-	travel := dist * cos / speed
-
-	var ref float64
-	switch {
-	case r.Detected:
-		ref = r.DetectedAt
-	case !math.IsInf(r.PredictedArrival, 1) && !math.IsNaN(r.PredictedArrival):
-		ref = r.PredictedArrival
-	default:
-		return math.Inf(1)
-	}
-	eta := ref - now + travel
-	if eta < 0 {
-		return 0
-	}
-	return eta
+	return predict.ArrivalETA(x, now, r)
 }
 
-// MinETA aggregates neighbour reports into the node's expected arrival time
-// (paper: "the value of expected arrival time is simply the minimum of these
-// arrival times"). Reports older than maxAge are ignored; maxAge <= 0
-// disables aging.
+// MinETA is the paper's minimum aggregation rule; see predict.MinETA.
 func MinETA(x geom.Vec2, now float64, reports []NeighborReport, maxAge float64) float64 {
-	best := math.Inf(1)
-	for _, r := range reports {
-		if maxAge > 0 && now-r.ReceivedAt > maxAge {
-			continue
-		}
-		if eta := ArrivalETA(x, now, r); eta < best {
-			best = eta
-		}
-	}
-	return best
+	return predict.MinETA(x, now, reports, maxAge)
 }
 
-// MeanETA is the ablation variant that averages finite per-neighbour
-// estimates instead of taking the minimum; the ext-estimator experiment
-// compares the two aggregation rules.
+// MeanETA is the mean-aggregation ablation; see predict.MeanETA.
 func MeanETA(x geom.Vec2, now float64, reports []NeighborReport, maxAge float64) float64 {
-	var sum float64
-	n := 0
-	for _, r := range reports {
-		if maxAge > 0 && now-r.ReceivedAt > maxAge {
-			continue
-		}
-		if eta := ArrivalETA(x, now, r); !math.IsInf(eta, 1) {
-			sum += eta
-			n++
-		}
-	}
-	if n == 0 {
-		return math.Inf(1)
-	}
-	return sum / float64(n)
+	return predict.MeanETA(x, now, reports, maxAge)
 }

@@ -15,7 +15,7 @@ func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 func coveredReport(id radio.NodeID, pos geom.Vec2, detectedAt float64, vel geom.Vec2, hasVel bool) NeighborReport {
 	return NeighborReport{
 		ID: id, Pos: pos, State: node.StateCovered,
-		Velocity: vel, HasVelocity: hasVel,
+		Velocity: vel, HasVelocity: hasVel, HasDirection: hasVel,
 		PredictedArrival: detectedAt, DetectedAt: detectedAt, Detected: true,
 	}
 }
@@ -61,10 +61,11 @@ func TestActualVelocitySkipsInvalid(t *testing.T) {
 
 func TestExpectedVelocity(t *testing.T) {
 	reports := []NeighborReport{
-		{ID: 1, State: node.StateCovered, Velocity: geom.V(2, 0), HasVelocity: true},
-		{ID: 2, State: node.StateAlert, Velocity: geom.V(0, 2), HasVelocity: true},
-		{ID: 3, State: node.StateSafe, Velocity: geom.V(9, 9), HasVelocity: true},     // safe: skipped
-		{ID: 4, State: node.StateCovered, Velocity: geom.V(9, 9), HasVelocity: false}, // no velocity
+		{ID: 1, State: node.StateCovered, Velocity: geom.V(2, 0), HasVelocity: true, HasDirection: true},
+		{ID: 2, State: node.StateAlert, Velocity: geom.V(0, 2), HasVelocity: true, HasDirection: true},
+		{ID: 3, State: node.StateSafe, Velocity: geom.V(9, 9), HasVelocity: true, HasDirection: true}, // safe: skipped
+		{ID: 4, State: node.StateCovered, Velocity: geom.V(9, 9), HasVelocity: false},                 // no velocity
+		{ID: 5, State: node.StateCovered, Velocity: geom.V(9, 9), HasVelocity: true},                  // speed-only: no heading to average
 	}
 	v, ok := ExpectedVelocity(reports)
 	if !ok || !v.ApproxEqual(geom.V(1, 1), 1e-12) {
@@ -114,7 +115,7 @@ func TestArrivalETAAlertNeighbor(t *testing.T) {
 	// along the velocity direction at 2 m/s → +2 s.
 	r := NeighborReport{
 		ID: 1, Pos: geom.Zero, State: node.StateAlert,
-		Velocity: geom.V(2, 0), HasVelocity: true,
+		Velocity: geom.V(2, 0), HasVelocity: true, HasDirection: true,
 		PredictedArrival: 30,
 	}
 	if eta := ArrivalETA(geom.V(4, 0), 20, r); !almost(eta, 12, 1e-12) {
@@ -199,6 +200,25 @@ func TestMeanETA(t *testing.T) {
 func TestScalarVelocity(t *testing.T) {
 	if v := ScalarVelocity(3); v.Norm() != 3 {
 		t.Errorf("ScalarVelocity norm = %v", v.Norm())
+	}
+}
+
+func TestArrivalETASpeedOnly(t *testing.T) {
+	// A speed-only report (HasDirection unset, as SAS sends) has no heading
+	// to project on: the estimate is straight-line distance over speed,
+	// wherever the target sits relative to the placeholder +x direction.
+	r := coveredReport(1, geom.Zero, 10, ScalarVelocity(2), true)
+	r.HasDirection = false
+	if eta := ArrivalETA(geom.V(0, 6), 10, r); !almost(eta, 3, 1e-12) {
+		t.Errorf("perpendicular speed-only eta = %v, want 3", eta)
+	}
+	if eta := ArrivalETA(geom.V(-6, 0), 10, r); !almost(eta, 3, 1e-12) {
+		t.Errorf("behind speed-only eta = %v, want 3", eta)
+	}
+	// The same geometry with a directed report refuses both targets.
+	r.HasDirection = true
+	if eta := ArrivalETA(geom.V(0, 6), 10, r); !math.IsInf(eta, 1) {
+		t.Errorf("perpendicular directed eta = %v, want +Inf", eta)
 	}
 }
 

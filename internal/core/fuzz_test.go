@@ -22,6 +22,10 @@ func FuzzResponseCodecRoundTrip(f *testing.F) {
 		State: node.StateCovered, HasVelocity: true, Detected: true,
 		Velocity: geom.V(-0.5, 3), DetectedAt: 40,
 	}.Encode())
+	f.Add(Response{ // speed-only report: velocity valid, direction not
+		State: node.StateCovered, HasVelocity: true, HasDirection: false,
+		Velocity: geom.V(2, 0), Detected: true, DetectedAt: 7,
+	}.Encode())
 	f.Add([]byte{})                                                     // short
 	f.Add(bytes.Repeat([]byte{0xff}, 51))                               // wrong type tag
 	f.Add(append([]byte{byte(MsgResponse), 0xff}, make([]byte, 49)...)) // junk flags
@@ -47,15 +51,17 @@ func FuzzResponseCodecRoundTrip(f *testing.F) {
 // actually runs: Response → Envelope → Response must preserve every field
 // bit-for-bit, and the envelope mapping must agree with the byte codec.
 func FuzzResponseEnvelopeMapping(f *testing.F) {
-	f.Add(1.0, 2.0, 0.5, 0.25, 42.0, 40.0, true, true, uint8(1))
-	f.Add(0.0, 0.0, 0.0, 0.0, math.Inf(1), 0.0, false, false, uint8(0))
-	f.Add(-1e300, 1e-300, math.MaxFloat64, -0.0, 1e9, -5.5, true, false, uint8(2))
-	f.Fuzz(func(t *testing.T, px, py, vx, vy, pa, da float64, hasVel, det bool, state uint8) {
+	f.Add(1.0, 2.0, 0.5, 0.25, 42.0, 40.0, true, true, true, uint8(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, math.Inf(1), 0.0, false, false, false, uint8(0))
+	f.Add(-1e300, 1e-300, math.MaxFloat64, -0.0, 1e9, -5.5, true, false, true, uint8(2))
+	f.Add(1.0, 1.0, 3.0, 0.0, 9.0, 8.0, true, true, false, uint8(2)) // SAS-style speed-only
+	f.Fuzz(func(t *testing.T, px, py, vx, vy, pa, da float64, hasVel, det, hasDir bool, state uint8) {
 		r := Response{
 			Pos:              geom.V(px, py),
 			State:            node.State(state % 3),
 			Velocity:         geom.V(vx, vy),
 			HasVelocity:      hasVel,
+			HasDirection:     hasDir,
 			PredictedArrival: pa,
 			DetectedAt:       da,
 			Detected:         det,

@@ -53,9 +53,13 @@ type Response struct {
 	// State is the sender's protocol state.
 	State node.State
 	// Velocity is the sender's spreading-velocity estimate; valid only when
-	// HasVelocity is set.
-	Velocity    geom.Vec2
-	HasVelocity bool
+	// HasVelocity is set. HasDirection reports whether the vector's
+	// direction is meaningful: PAS velocity estimates are true vectors,
+	// while SAS reports a bare speed through ScalarVelocity and clears the
+	// bit, so receivers never project along the fabricated +x heading.
+	Velocity     geom.Vec2
+	HasVelocity  bool
+	HasDirection bool
 	// PredictedArrival is the sender's predicted absolute stimulus arrival
 	// time at its own position (+Inf when unknown; the sender's detection
 	// time once covered).
@@ -75,8 +79,9 @@ func (Response) Size() int { return headerBytes + responsePayload }
 
 // Response flag bits, shared by the byte codec and the envelope mapping.
 const (
-	flagHasVelocity = 1 << 0
-	flagDetected    = 1 << 1
+	flagHasVelocity  = 1 << 0
+	flagDetected     = 1 << 1
+	flagHasDirection = 1 << 2
 )
 
 // Envelope packs the response into the radio's value-dispatch envelope. The
@@ -89,6 +94,9 @@ func (r Response) Envelope() radio.Envelope {
 	}
 	if r.Detected {
 		flags |= flagDetected
+	}
+	if r.HasDirection {
+		flags |= flagHasDirection
 	}
 	return radio.Envelope{
 		Kind:  radio.KindResponse,
@@ -111,6 +119,7 @@ func ResponseFromEnvelope(env radio.Envelope) Response {
 		State:            node.State(env.State),
 		Velocity:         geom.V(env.F[2], env.F[3]),
 		HasVelocity:      env.Flags&flagHasVelocity != 0,
+		HasDirection:     env.Flags&flagHasDirection != 0,
 		PredictedArrival: env.F[4],
 		DetectedAt:       env.F[5],
 		Detected:         env.Flags&flagDetected != 0,
@@ -137,6 +146,9 @@ func (r Response) AppendEncode(dst []byte) []byte {
 	if r.Detected {
 		flags |= flagDetected
 	}
+	if r.HasDirection {
+		flags |= flagHasDirection
+	}
 	dst = append(dst, byte(MsgResponse), flags)
 	for _, f := range [...]float64{r.Pos.X, r.Pos.Y, r.Velocity.X, r.Velocity.Y, r.PredictedArrival, r.DetectedAt} {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
@@ -157,6 +169,7 @@ func DecodeResponse(buf []byte) (Response, error) {
 	flags := buf[1]
 	r.HasVelocity = flags&flagHasVelocity != 0
 	r.Detected = flags&flagDetected != 0
+	r.HasDirection = flags&flagHasDirection != 0
 	var vals [6]float64
 	off := 2
 	for i := range vals {

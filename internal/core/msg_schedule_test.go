@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/predict"
 )
 
 func TestMessageSizes(t *testing.T) {
@@ -209,6 +210,30 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+func TestResponseHasDirectionRoundTrip(t *testing.T) {
+	// The speed-only wire representation (satellite of the predictor PR):
+	// HasVelocity with HasDirection clear marks a SAS-style magnitude-only
+	// report. The bit must survive both the byte codec and the envelope
+	// mapping, independently of the other flags.
+	for _, hasDir := range []bool{false, true} {
+		r := Response{
+			Pos: geom.V(3, 4), State: node.StateCovered,
+			Velocity: ScalarVelocity(2), HasVelocity: true, HasDirection: hasDir,
+			PredictedArrival: 9, DetectedAt: 9, Detected: true,
+		}
+		got, err := DecodeResponse(r.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Errorf("byte codec: got %+v, want %+v", got, r)
+		}
+		if env := ResponseFromEnvelope(r.Envelope()); env != r {
+			t.Errorf("envelope: got %+v, want %+v", env, r)
+		}
+	}
+}
+
 func TestSignificantChange(t *testing.T) {
 	inf := math.Inf(1)
 	cases := []struct {
@@ -223,8 +248,8 @@ func TestSignificantChange(t *testing.T) {
 		{20, 20, false},   // unchanged
 	}
 	for _, c := range cases {
-		if got := significantChange(c.old, c.new, 0.2, 10); got != c.want {
-			t.Errorf("significantChange(%v→%v) = %v, want %v", c.old, c.new, got, c.want)
+		if got := predict.SignificantChange(c.old, c.new, 0.2, 10); got != c.want {
+			t.Errorf("SignificantChange(%v→%v) = %v, want %v", c.old, c.new, got, c.want)
 		}
 	}
 }

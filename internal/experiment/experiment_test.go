@@ -102,7 +102,7 @@ func TestDefaultSeeds(t *testing.T) {
 
 func TestLookupAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
+	if len(all) != 19 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	ids := map[string]bool{}

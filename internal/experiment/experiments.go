@@ -72,6 +72,7 @@ func All() []Experiment {
 		{"ext-terrain", "Extension: protocols on the heterogeneous-terrain (eikonal) front", ExtTerrain},
 		{"ext-scale", "Extension: production-scale deployments (100/1k/10k nodes)", ExtScale},
 		{"ext-faults", "Extension: fault injection — churn, miscalibration, radio fading", ExtFaults},
+		{"ext-predictors", "Extension: arrival-predictor portfolio (LMS/EWMA/AR/Kalman/switching)", ExtPredictors},
 	}
 }
 

@@ -23,8 +23,9 @@ var update = flag.Bool("update", false, "rewrite the golden trace snapshots unde
 // — per-link loss draws, collision windows, CSMA backoffs — is trace-pinned
 // against the frozen CSR candidate rows, and the fault-injection sweep so
 // every fault stream (churn, sensor miscalibration, degradation windows,
-// liveness probing) is pinned serial-vs-parallel too.
-var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime", "ext-lossy-csma", "ext-faults"}
+// liveness probing) is pinned serial-vs-parallel too, and the predictor
+// portfolio so every filter arm's numerics are trace-pinned.
+var goldenExperiments = []string{"fig4", "ext-plume", "ext-lifetime", "ext-lossy-csma", "ext-faults", "ext-predictors"}
 
 // goldenOptions is the fixed configuration every snapshot is generated and
 // checked with (Quick sweep, 3 seeds); parallelism is set per run.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -78,6 +79,9 @@ func FromScenario(sp scenario.Scenario, seed int64) (RunConfig, error) {
 		}.WithDefaults()
 		rc.PAS.Liveness = lc
 		rc.SAS.Liveness = lc
+	}
+	if pr := sp.Protocol.Predictor; pr != nil {
+		rc.PAS.Predictor = pr.Spec()
 	}
 	return rc, nil
 }
@@ -181,12 +185,29 @@ func ExtScale(o Options) (Result, error) {
 // replication seed so expensive stimuli (PDE plume, fast marching) build once
 // per sweep, exactly like the dedicated extension experiments.
 func ScenarioSweep(name string) (Experiment, error) {
+	return ScenarioSweepPredictor(name, "")
+}
+
+// ScenarioSweepPredictor is ScenarioSweep with the PAS arrival predictor
+// pinned to the named kind (see internal/predict; "" keeps the scenario's own
+// predictor section, or the paper default) — the workload runner behind
+// `pasbench -scenario -predictor`.
+func ScenarioSweepPredictor(name, predictor string) (Experiment, error) {
 	sp, ok := scenario.Lookup(name)
 	if !ok {
 		return Experiment{}, fmt.Errorf("experiment: unknown scenario %q (one of %v)", name, scenario.Names())
 	}
+	if predictor != "" {
+		if _, ok := predict.Describe(predictor); !ok {
+			return Experiment{}, fmt.Errorf("experiment: unknown predictor %q (one of %v)", predictor, predict.Kinds())
+		}
+	}
 	id := "scenario-" + name
 	title := "Scenario sweep: " + name
+	if predictor != "" {
+		id += "-" + predictor
+		title += " (predictor " + predictor + ")"
+	}
 	if sp.Description != "" {
 		title += " — " + sp.Description
 	}
@@ -198,6 +219,9 @@ func ScenarioSweep(name string) (Experiment, error) {
 			base, err := FromScenario(sp, seeds[0])
 			if err != nil {
 				return Result{}, err
+			}
+			if predictor != "" {
+				base.PAS.Predictor = predict.Spec{Kind: predictor}
 			}
 			xs := o.sweep([]float64{5, 15, 30}, []float64{5, 30})
 			protos := []string{ProtoNS, ProtoPAS, ProtoSAS}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/node"
+	"repro/internal/predict"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,13 @@ import (
 // metrics without the node package knowing about protocols.
 type livenessReporter interface {
 	LivenessStats() fault.LivenessStats
+}
+
+// predictionReporter is implemented by agents that run an arrival predictor
+// (PAS); Collect type-asserts it to gather prediction-accuracy metrics the
+// same way livenessReporter decouples liveness.
+type predictionReporter interface {
+	PredictionStats() predict.Stats
 }
 
 // NodeReport is the per-node outcome of one simulation run.
@@ -88,6 +96,18 @@ type RunReport struct {
 	// At−LastHeard staleness over them (0 when none).
 	DeclaredDead int
 	StaleAge     float64
+
+	// Prediction-accuracy measures (PAS runs; zero otherwise).
+	//
+	// PredRMSE is the root-mean-square arrival-prediction error in seconds
+	// over nodes that both predicted and were reached (0 when none).
+	PredRMSE float64
+	// PredMaxStale is the longest a node sat on a suppressed (unannounced)
+	// prediction change, in seconds.
+	PredMaxStale float64
+	// Suppressed counts dual-prediction report suppressions across the
+	// network — RESPONSE broadcasts the model deemed unnecessary.
+	Suppressed int
 }
 
 // Collect builds a RunReport from a finished network. Horizon must match the
@@ -97,6 +117,8 @@ func Collect(nodes []*node.Node, horizon float64) RunReport {
 	var delays []float64
 	var energySum, dutySum float64
 	var downSum, staleSum float64
+	var errSqSum float64
+	var errN int
 	var byID map[int]*node.Node // lazy: only fault runs with declarations pay for it
 	for _, n := range nodes {
 		res := n.StateResidency()
@@ -157,6 +179,15 @@ func Collect(nodes []*node.Node, horizon float64) RunReport {
 				}
 			}
 		}
+		if pr, ok := n.Agent().(predictionReporter); ok {
+			ps := pr.PredictionStats()
+			errSqSum += ps.ErrSq
+			errN += ps.ErrN
+			rep.Suppressed += ps.Suppressed
+			if ps.MaxStale > rep.PredMaxStale {
+				rep.PredMaxStale = ps.MaxStale
+			}
+		}
 		rep.Nodes = append(rep.Nodes, nr)
 	}
 	if len(nodes) > 0 && horizon > 0 {
@@ -164,6 +195,9 @@ func Collect(nodes []*node.Node, horizon float64) RunReport {
 	}
 	if rep.DeclaredDead > 0 {
 		rep.StaleAge = staleSum / float64(rep.DeclaredDead)
+	}
+	if errN > 0 {
+		rep.PredRMSE = math.Sqrt(errSqSum / float64(errN))
 	}
 	if len(delays) > 0 {
 		rep.AvgDelay = stats.Mean(delays)
@@ -236,6 +270,10 @@ type Aggregate struct {
 	FalseDead stats.Accumulator
 	StaleAge  stats.Accumulator
 	ProbeJ    stats.Accumulator
+	// Prediction-accuracy measures (see RunReport).
+	PredRMSE   stats.Accumulator
+	PredStale  stats.Accumulator
+	Suppressed stats.Accumulator
 }
 
 // Add folds in one run.
@@ -258,6 +296,9 @@ func (a *Aggregate) Add(r RunReport) {
 	a.FalseDead.Add(float64(r.FalseDead))
 	a.StaleAge.Add(r.StaleAge)
 	a.ProbeJ.Add(r.ProbeEnergyJ)
+	a.PredRMSE.Add(r.PredRMSE)
+	a.PredStale.Add(r.PredMaxStale)
+	a.Suppressed.Add(float64(r.Suppressed))
 }
 
 // N returns the number of runs folded in.

@@ -1,0 +1,39 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestPredictorStepZeroAllocs pins every predictor kind at zero allocations
+// per refresh+announce step — the discipline that lets agents embed a Model
+// in slab storage without per-event garbage at 10k-node scale.
+func TestPredictorStepZeroAllocs(t *testing.T) {
+	for _, kindName := range Kinds() {
+		var m Model
+		m.Init(Spec{Kind: kindName}, EstimatorConfig{})
+		reports := []Report{directedReport(1, geom.Zero, 0, geom.V(1, 0))}
+		now := 0.0
+		allocs := testing.AllocsPerRun(1000, func() {
+			now += 0.1
+			m.Refresh(Input{Pos: geom.V(10, 0), Now: now, Reports: reports})
+			m.Announce(0.2, now)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per step, want 0", kindName, allocs)
+		}
+	}
+}
+
+// TestModelInitZeroAllocs pins Init itself: slab construction re-inits
+// models in place and must not allocate per agent.
+func TestModelInitZeroAllocs(t *testing.T) {
+	var m Model
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Init(Spec{Kind: KindSwitching}, EstimatorConfig{})
+	})
+	if allocs != 0 {
+		t.Errorf("Init: %v allocs, want 0", allocs)
+	}
+}

@@ -1,0 +1,212 @@
+package predict
+
+// The filter arms all consume the same scalar sequence: the raw paper-
+// estimator measurements of the absolute arrival time (+Inf readings are
+// skipped upstream and never reach a filter). Each arm exposes predict
+// (its current one-step estimate, with a validity flag so the portfolio can
+// score it against the next reading before updating) and update. All state
+// is fixed-size and in-struct: a filter embedded in an agent slab allocates
+// nothing per step.
+
+// lmsTaps is the NLMS tap count: a two-tap line predictor, enough to track
+// the locally-linear drift of an arrival estimate.
+const lmsTaps = 2
+
+// lmsFilter is a normalized least-mean-squares adaptive predictor:
+//
+//	ŷ = w·x,  w ← w + μ·e·x / (ε + |x|²)
+//
+// over the vector x of the most recent measurements. Normalization makes
+// the adaptation rate scale-free, so absolute arrival times (hundreds of
+// seconds) adapt as fast as small ones.
+type lmsFilter struct {
+	w    [lmsTaps]float64
+	x    [lmsTaps]float64 // x[0] is the most recent past measurement
+	seen int
+}
+
+func (f *lmsFilter) reset() {
+	*f = lmsFilter{}
+	f.w[0] = 1 // persistence prior: predict the last value until adapted
+}
+
+func (f *lmsFilter) predict() (float64, bool) {
+	if f.seen < lmsTaps {
+		return 0, false
+	}
+	return f.w[0]*f.x[0] + f.w[1]*f.x[1], true
+}
+
+func (f *lmsFilter) update(mu, m float64) {
+	if p, ok := f.predict(); ok {
+		e := m - p
+		den := 1e-12 + f.x[0]*f.x[0] + f.x[1]*f.x[1]
+		g := mu * e / den
+		f.w[0] += g * f.x[0]
+		f.w[1] += g * f.x[1]
+	}
+	f.x[1] = f.x[0]
+	f.x[0] = m
+	f.seen++
+}
+
+// ewmaFilter is an exponentially weighted moving average, primed by the
+// first measurement: s ← α·m + (1−α)·s.
+type ewmaFilter struct {
+	s    float64
+	seen int
+}
+
+func (f *ewmaFilter) reset() { *f = ewmaFilter{} }
+
+func (f *ewmaFilter) predict() (float64, bool) { return f.s, f.seen > 0 }
+
+func (f *ewmaFilter) update(alpha, m float64) {
+	if f.seen == 0 {
+		f.s = m
+	} else {
+		f.s = alpha*m + (1-alpha)*f.s
+	}
+	f.seen++
+}
+
+// AR window sizing: the sliding least-squares fit uses up to arWindow past
+// measurements and supports model orders 1..arMaxOrder.
+const (
+	arWindow   = 16
+	arMaxOrder = 4
+)
+
+// arFilter is an autoregressive AR(k) one-step predictor whose coefficients
+// are refit on every update by least squares over a sliding window (normal
+// equations with a tiny ridge, solved by Gaussian elimination on fixed-size
+// arrays — no allocation, k ≤ 4).
+type arFilter struct {
+	ring  [arWindow]float64
+	head  int // next write slot
+	count int // stored measurements, capped at arWindow
+	order int
+	coef  [arMaxOrder]float64
+	fitOK bool
+}
+
+func (f *arFilter) reset(order int) {
+	*f = arFilter{order: order}
+}
+
+// at returns the i-th most recent stored measurement (0 = newest).
+func (f *arFilter) at(i int) float64 {
+	return f.ring[(f.head-1-i+2*arWindow)%arWindow]
+}
+
+func (f *arFilter) predict() (float64, bool) {
+	if !f.fitOK || f.count < f.order {
+		return 0, false
+	}
+	var y float64
+	for i := 0; i < f.order; i++ {
+		y += f.coef[i] * f.at(i)
+	}
+	return y, true
+}
+
+func (f *arFilter) update(m float64) {
+	f.ring[f.head] = m
+	f.head = (f.head + 1) % arWindow
+	if f.count < arWindow {
+		f.count++
+	}
+	f.refit()
+}
+
+// refit solves the normal equations Gc = b for the AR coefficients, with
+// G = AᵀA + ridge·I over the rows (x_{t-1..t-k} → x_t) of the window.
+func (f *arFilter) refit() {
+	k := f.order
+	rows := f.count - k
+	if rows < k {
+		f.fitOK = false
+		return
+	}
+	var g [arMaxOrder][arMaxOrder + 1]float64 // augmented [G | b]
+	for t := 0; t < rows; t++ {
+		// Row t predicts the measurement at recency index t from the k
+		// measurements before it.
+		y := f.at(t)
+		for i := 0; i < k; i++ {
+			xi := f.at(t + 1 + i)
+			g[i][k] += xi * y
+			for j := 0; j < k; j++ {
+				g[i][j] += xi * f.at(t+1+j)
+			}
+		}
+	}
+	const ridge = 1e-9
+	for i := 0; i < k; i++ {
+		g[i][i] += ridge
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if abs(g[r][col]) > abs(g[pivot][col]) {
+				pivot = r
+			}
+		}
+		g[col], g[pivot] = g[pivot], g[col]
+		if abs(g[col][col]) < 1e-12 {
+			f.fitOK = false
+			return
+		}
+		inv := 1 / g[col][col]
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			factor := g[r][col] * inv
+			for c := col; c <= k; c++ {
+				g[r][c] -= factor * g[col][c]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		f.coef[i] = g[i][k] / g[i][i]
+	}
+	f.fitOK = true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// kalmanFilter is a scalar Kalman filter with a random-walk state model:
+//
+//	predict: P ← P + Q;  update: K = P/(P+R), x ← x + K(m−x), P ← (1−K)P
+//
+// primed by the first measurement with P = R.
+type kalmanFilter struct {
+	x, p float64
+	gain float64
+	seen int
+}
+
+func (f *kalmanFilter) reset() { *f = kalmanFilter{} }
+
+func (f *kalmanFilter) predict() (float64, bool) { return f.x, f.seen > 0 }
+
+func (f *kalmanFilter) update(q, r, m float64) {
+	if f.seen == 0 {
+		f.x, f.p = m, r
+		f.seen++
+		return
+	}
+	f.p += q
+	k := f.p / (f.p + r)
+	f.gain = k
+	f.x += k * (m - f.x)
+	f.p *= 1 - k
+	f.seen++
+}

@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLMSConvergesOnLinearSignal pins the NLMS numerics on a noiseless
+// linear signal m_n = a + b·n. The ramp excites (asymptotically) only the
+// [1,1] tap direction, so the weights need not reach the unique line
+// predictor (2, −1); what normalized LMS does guarantee with μ ∈ (0, 2) is
+// that the prediction error converges toward zero — two orders of magnitude
+// below the slope-b lag error the unadapted persistence prior would make.
+func TestLMSConvergesOnLinearSignal(t *testing.T) {
+	var f lmsFilter
+	f.reset()
+	signal := func(n int) float64 { return 3 + 0.5*float64(n) }
+	var lastErr float64
+	for n := 0; n < 500; n++ {
+		m := signal(n)
+		if p, ok := f.predict(); ok {
+			lastErr = math.Abs(p - m)
+		}
+		f.update(DefaultMu, m)
+	}
+	if lastErr > 0.005 { // persistence prior would lag by b = 0.5 forever
+		t.Errorf("LMS error after 500 steps = %g, want < 0.005", lastErr)
+	}
+}
+
+// TestLMSExactWeightsUnderPersistentExcitation uses a period-2 oscillation
+// m_n = 10 + 3·(−1)^n, whose unique two-tap predictor is w = (0, 1)
+// (recurrence x_n = x_{n−2}). The alternating regressors span both tap
+// directions, so NLMS converges to the exact weights, not just low error.
+func TestLMSExactWeightsUnderPersistentExcitation(t *testing.T) {
+	var f lmsFilter
+	f.reset()
+	for n := 0; n < 400; n++ {
+		m := 10 + 3*float64(1-2*(n%2))
+		f.update(DefaultMu, m)
+	}
+	if math.Abs(f.w[0]) > 1e-6 || math.Abs(f.w[1]-1) > 1e-6 {
+		t.Errorf("LMS weights = %v, want (0, 1)", f.w)
+	}
+}
+
+// TestEWMAStepResponse pins the EWMA against the closed-form step response:
+// primed at 0 and fed a unit step, s_n = 1 − (1−α)^n exactly.
+func TestEWMAStepResponse(t *testing.T) {
+	const alpha = 0.3
+	var f ewmaFilter
+	f.reset()
+	f.update(alpha, 0) // prime at 0
+	for n := 1; n <= 20; n++ {
+		f.update(alpha, 1)
+		want := 1 - math.Pow(1-alpha, float64(n))
+		got, ok := f.predict()
+		if !ok || math.Abs(got-want) > 1e-12 {
+			t.Fatalf("step %d: s = %.15f, want %.15f", n, got, want)
+		}
+	}
+}
+
+// TestARPredictsKnownProcess pins the AR(2) least-squares fit on a process
+// it can represent exactly: a linear ramp satisfies x_n = 2x_{n−1} − x_{n−2},
+// so once the window holds enough samples the prediction is exact (up to the
+// stabilizing ridge).
+func TestARPredictsKnownProcess(t *testing.T) {
+	var f arFilter
+	f.reset(2)
+	ramp := func(n int) float64 { return 10 + 2*float64(n) }
+	for n := 0; n < 30; n++ {
+		if n >= 6 { // window holds ≥ 2 fit rows by then
+			p, ok := f.predict()
+			if !ok {
+				t.Fatalf("step %d: AR not primed", n)
+			}
+			if math.Abs(p-ramp(n)) > 1e-5 {
+				t.Fatalf("step %d: AR predicts %g, want %g", n, p, ramp(n))
+			}
+		}
+		f.update(ramp(n))
+	}
+}
+
+// TestAROrderFourOscillation checks the largest supported order on a
+// process an AR(2) cannot represent but an AR(4) can: x_n = x_{n−4}
+// (period-4 oscillation around a level).
+func TestAROrderFourOscillation(t *testing.T) {
+	var f arFilter
+	f.reset(4)
+	seq := []float64{100, 104, 100, 96}
+	for n := 0; n < 40; n++ {
+		m := seq[n%4]
+		if n >= 16 {
+			if p, ok := f.predict(); !ok || math.Abs(p-m) > 1e-4 {
+				t.Fatalf("step %d: AR(4) predicts %v (ok=%v), want %g", n, p, ok, m)
+			}
+		}
+		f.update(m)
+	}
+}
+
+// TestARUnprimedAndDegenerate covers the fit guards: too few samples, and a
+// constant signal (rank-deficient normal matrix, held up by the ridge).
+func TestARUnprimedAndDegenerate(t *testing.T) {
+	var f arFilter
+	f.reset(2)
+	if _, ok := f.predict(); ok {
+		t.Error("empty AR filter claims a prediction")
+	}
+	f.update(5)
+	f.update(5)
+	if _, ok := f.predict(); ok {
+		t.Error("AR with too few fit rows claims a prediction")
+	}
+	for i := 0; i < 20; i++ {
+		f.update(5)
+	}
+	// Any coefficient vector with Σc = 1 reproduces a constant signal; the
+	// ridge-stabilized fit must land on one of them.
+	if p, ok := f.predict(); !ok || math.Abs(p-5) > 1e-3 {
+		t.Errorf("constant-signal AR predicts %v (ok=%v), want 5", p, ok)
+	}
+}
+
+// TestKalmanSteadyStateGain pins the scalar Kalman numerics against the
+// closed-form steady state of the random-walk model: the prior variance
+// solves P² − QP − QR = 0, so P∞ = (Q + √(Q² + 4QR))/2 and the gain
+// converges to K∞ = P∞/(P∞ + R).
+func TestKalmanSteadyStateGain(t *testing.T) {
+	const q, r = 0.5, 4.0
+	var f kalmanFilter
+	f.reset()
+	for n := 0; n < 1000; n++ {
+		f.update(q, r, float64(n%7)) // any bounded input: the gain is input-independent
+	}
+	pInf := (q + math.Sqrt(q*q+4*q*r)) / 2
+	kInf := pInf / (pInf + r)
+	if math.Abs(f.gain-kInf) > 1e-9 {
+		t.Errorf("Kalman gain = %.12f, want %.12f", f.gain, kInf)
+	}
+}
+
+// TestKalmanTracksConstant: with the first sample priming the state, a
+// constant signal is reproduced exactly forever.
+func TestKalmanTracksConstant(t *testing.T) {
+	var f kalmanFilter
+	f.reset()
+	for n := 0; n < 50; n++ {
+		f.update(1, 4, 42)
+	}
+	if p, ok := f.predict(); !ok || p != 42 {
+		t.Errorf("Kalman on constant = %v (ok=%v), want 42", p, ok)
+	}
+}

@@ -1,0 +1,223 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/radio"
+)
+
+func directedReport(id radio.NodeID, pos geom.Vec2, detectedAt float64, vel geom.Vec2) Report {
+	return Report{
+		ID: id, Pos: pos, State: node.StateCovered,
+		Velocity: vel, HasVelocity: true, HasDirection: true,
+		PredictedArrival: detectedAt, DetectedAt: detectedAt, Detected: true,
+		ReceivedAt: detectedAt,
+	}
+}
+
+func initModel(t *testing.T, spec Spec) *Model {
+	t.Helper()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var m Model
+	m.Init(spec, EstimatorConfig{})
+	return &m
+}
+
+// approachInput is a covered neighbour at the origin whose front moves +x at
+// 1 m/s toward a node at (10, 0); at time now the raw arrival estimate is
+// the constant absolute instant 10.
+func approachInput(now float64) Input {
+	return Input{
+		Pos: geom.V(10, 0), Now: now,
+		Reports: []Report{directedReport(1, geom.Zero, 0, geom.V(1, 0))},
+	}
+}
+
+// TestPaperKindMatchesRawEstimator: the default kind publishes exactly the
+// raw §3.3 reading — eta and absolute prediction alike.
+func TestPaperKindMatchesRawEstimator(t *testing.T) {
+	m := initModel(t, Spec{})
+	eta := m.Refresh(approachInput(2))
+	if eta != 8 {
+		t.Errorf("eta = %v, want 8", eta)
+	}
+	if p := m.Predicted(); p != 10 {
+		t.Errorf("predicted = %v, want 10", p)
+	}
+	if v, ok := m.Velocity(); !ok || !v.ApproxEqual(geom.V(1, 0), 1e-12) {
+		t.Errorf("velocity = %v,%v want (1,0)", v, ok)
+	}
+	// No reports: the prediction collapses back to unknown.
+	if eta := m.Refresh(Input{Pos: geom.V(10, 0), Now: 3}); !math.IsInf(eta, 1) {
+		t.Errorf("eta without reports = %v, want +Inf", eta)
+	}
+	if !math.IsInf(m.Predicted(), 1) {
+		t.Error("prediction without reports is not +Inf")
+	}
+}
+
+// TestFilterKindsConvergeToConstantArrival: every filter kind fed the same
+// steady approach (constant true arrival instant) must converge to it.
+func TestFilterKindsConvergeToConstantArrival(t *testing.T) {
+	for _, kindName := range []string{KindLMS, KindEWMA, KindAR, KindKalman, KindSwitching} {
+		m := initModel(t, Spec{Kind: kindName})
+		var eta float64
+		for i := 0; i < 40; i++ {
+			now := float64(i) * 0.2
+			eta = m.Refresh(approachInput(now))
+		}
+		finalNow := 39 * 0.2
+		if math.Abs(m.Predicted()-10) > 0.5 {
+			t.Errorf("%s: predicted = %v, want ≈10", kindName, m.Predicted())
+		}
+		if math.Abs(eta-(10-finalNow)) > 0.5 {
+			t.Errorf("%s: eta = %v, want ≈%v", kindName, eta, 10-finalNow)
+		}
+	}
+}
+
+// TestFilterKindsPassRawThroughWhenUnprimed: before a filter has enough
+// samples, the raw reading stands in (never a stale zero).
+func TestFilterKindsPassRawThroughWhenUnprimed(t *testing.T) {
+	m := initModel(t, Spec{Kind: KindLMS})
+	if eta := m.Refresh(approachInput(0)); eta != 10 {
+		t.Errorf("unprimed LMS eta = %v, want 10 (raw)", eta)
+	}
+}
+
+// TestInfReadingsHoldFilters: +Inf raw readings publish unknown and leave
+// filter state untouched rather than poisoning it.
+func TestInfReadingsHoldFilters(t *testing.T) {
+	m := initModel(t, Spec{Kind: KindEWMA})
+	for i := 0; i < 5; i++ {
+		m.Refresh(approachInput(float64(i)))
+	}
+	if eta := m.Refresh(Input{Pos: geom.V(10, 0), Now: 5}); !math.IsInf(eta, 1) {
+		t.Errorf("eta on empty snapshot = %v, want +Inf", eta)
+	}
+	// The primed filter resumes exactly where it left off.
+	if eta := m.Refresh(approachInput(6)); math.IsInf(eta, 1) {
+		t.Error("filter lost its state across an unknown reading")
+	}
+}
+
+// TestSwitchingNeverReportsWithInfiniteTolerance is the dual-prediction
+// property test: whatever the report stream does, a switching predictor
+// with tolerance +Inf never grants an announcement.
+func TestSwitchingNeverReportsWithInfiniteTolerance(t *testing.T) {
+	f := func(raw [8]float64, frac float64) bool {
+		m := &Model{}
+		m.Init(Spec{Kind: KindSwitching, Tolerance: math.Inf(1)}, EstimatorConfig{})
+		frac = math.Abs(math.Mod(frac, 1))
+		for i, rv := range raw {
+			now := float64(i)
+			speed := math.Abs(math.Mod(rv, 5))
+			in := Input{Pos: geom.V(10, 0), Now: now}
+			if speed > 0.01 { // otherwise an empty snapshot: raw = +Inf
+				in.Reports = []Report{directedReport(1, geom.Zero, 0, geom.V(speed, 0))}
+			}
+			m.Refresh(in)
+			if m.Announce(frac, now) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSwitchingToleranceGate: with a finite tolerance, a report is granted
+// only when the model deviates from the reading by more than the tolerance.
+func TestSwitchingToleranceGate(t *testing.T) {
+	m := initModel(t, Spec{Kind: KindSwitching, Tolerance: 0.001})
+	// First finite reading: unknown → known is significant, and the model
+	// (raw passthrough, unprimed) deviates 0 from the reading — suppressed
+	// at tolerance 0.001.
+	m.Refresh(approachInput(0))
+	if m.Announce(0.2, 0) {
+		t.Error("switching announced with model == reading")
+	}
+	if got := m.Stats().Suppressed; got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
+// TestPaperAnnounceMatchesSignificantChange: the paper kind's announce gate
+// is exactly the significant-change rule on consecutive predictions.
+func TestPaperAnnounceMatchesSignificantChange(t *testing.T) {
+	m := initModel(t, Spec{})
+	m.Refresh(approachInput(0)) // Inf → 10: significant
+	if !m.Announce(0.2, 0) {
+		t.Error("unknown → known not announced")
+	}
+	m.Refresh(approachInput(0.1)) // same arrival instant: insignificant
+	if m.Announce(0.2, 0.1) {
+		t.Error("unchanged prediction announced")
+	}
+	st := m.Stats()
+	if st.Suppressed != 1 || st.MaxStale < 0.1-1e-12 {
+		t.Errorf("stats = %+v, want 1 suppression with ≥0.1 staleness", st)
+	}
+}
+
+// TestMarkDetectedScoresFinalPrediction: detection scores the last finite
+// pre-detection prediction against the actual arrival, once.
+func TestMarkDetectedScoresFinalPrediction(t *testing.T) {
+	m := initModel(t, Spec{})
+	m.Refresh(approachInput(2)) // predicts arrival at 10
+	m.MarkDetected(11)          // actually arrived at 11: error 1
+	st := m.Stats()
+	if st.ErrN != 1 || math.Abs(st.ErrSq-1) > 1e-12 {
+		t.Errorf("stats = %+v, want one sample of squared error 1", st)
+	}
+	if m.Predicted() != 11 {
+		t.Errorf("predicted after detection = %v, want 11", m.Predicted())
+	}
+	m.MarkDetected(12) // re-detection: no double-count
+	if st := m.Stats(); st.ErrN != 1 {
+		t.Errorf("re-detection added a sample: %+v", st)
+	}
+}
+
+// TestMarkDetectedWithoutPrediction: a node that never predicted contributes
+// no error sample.
+func TestMarkDetectedWithoutPrediction(t *testing.T) {
+	m := initModel(t, Spec{})
+	m.MarkDetected(5)
+	if st := m.Stats(); st.ErrN != 0 {
+		t.Errorf("unpredicted detection scored: %+v", st)
+	}
+}
+
+// TestDetectionFreezesExpectedVelocity mirrors the agent contract: after
+// MarkDetected the model stops folding neighbour velocities in.
+func TestDetectionFreezesExpectedVelocity(t *testing.T) {
+	m := initModel(t, Spec{})
+	m.SetVelocity(geom.V(9, 9))
+	m.MarkDetected(1)
+	m.Refresh(approachInput(2))
+	if v, _ := m.Velocity(); !v.ApproxEqual(geom.V(9, 9), 0) {
+		t.Errorf("velocity overwritten after detection: %v", v)
+	}
+}
+
+// TestSwitchingPrefersBetterArm: on a signal one arm tracks much better
+// (constant arrival — EWMA/Kalman exact), the published prediction must be
+// near the constant even while LMS/AR are still adapting.
+func TestSwitchingPrefersBetterArm(t *testing.T) {
+	m := initModel(t, Spec{Kind: KindSwitching})
+	for i := 0; i < 30; i++ {
+		m.Refresh(approachInput(float64(i) * 0.1))
+	}
+	if math.Abs(m.Predicted()-10) > 0.1 {
+		t.Errorf("switching predicted %v, want ≈10", m.Predicted())
+	}
+}

@@ -1,0 +1,101 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{Kind: KindPaper},
+		{Kind: KindLMS, Mu: 1.5},
+		{Kind: KindEWMA, Alpha: 1},
+		{Kind: KindAR, Order: 4},
+		{Kind: KindKalman, ProcessVar: 2, MeasureVar: 8},
+		{Kind: KindSwitching, Tolerance: math.Inf(1)},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{Kind: "nope"},
+		{Mu: -1},
+		{Mu: 2.5},
+		{Alpha: 1.5},
+		{Order: 5},
+		{Order: -1},
+		{ProcessVar: -1},
+		{MeasureVar: -1},
+		{Tolerance: -1},
+		{Tolerance: math.NaN()},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+}
+
+func TestSpecWithDefaults(t *testing.T) {
+	d := Spec{}.WithDefaults()
+	want := Spec{
+		Kind: KindPaper, Mu: DefaultMu, Alpha: DefaultAlpha, Order: DefaultOrder,
+		ProcessVar: DefaultProcessVar, MeasureVar: DefaultMeasureVar, Tolerance: DefaultTolerance,
+	}
+	if d != want {
+		t.Errorf("WithDefaults = %+v, want %+v", d, want)
+	}
+	// Explicit values are kept.
+	if s := (Spec{Kind: KindEWMA, Alpha: 0.9}).WithDefaults(); s.Alpha != 0.9 {
+		t.Errorf("explicit alpha clobbered: %+v", s)
+	}
+}
+
+func TestSpecCanonical(t *testing.T) {
+	// Canonical zeroes parameters the kind never reads and materializes the
+	// ones it does, so behaviourally identical specs compare equal.
+	cases := []struct{ in, want Spec }{
+		{Spec{}, Spec{Kind: KindPaper}},
+		{Spec{Kind: KindPaper, Mu: 1.9}, Spec{Kind: KindPaper}},
+		{Spec{Kind: KindLMS}, Spec{Kind: KindLMS, Mu: DefaultMu}},
+		{Spec{Kind: KindLMS, Alpha: 0.9}, Spec{Kind: KindLMS, Mu: DefaultMu}},
+		{Spec{Kind: KindEWMA}, Spec{Kind: KindEWMA, Alpha: DefaultAlpha}},
+		{Spec{Kind: KindAR, Order: 3}, Spec{Kind: KindAR, Order: 3}},
+		{Spec{Kind: KindKalman}, Spec{Kind: KindKalman, ProcessVar: DefaultProcessVar, MeasureVar: DefaultMeasureVar}},
+		{Spec{Kind: KindSwitching}, Spec{
+			Kind: KindSwitching, Mu: DefaultMu, Alpha: DefaultAlpha, Order: DefaultOrder,
+			ProcessVar: DefaultProcessVar, MeasureVar: DefaultMeasureVar, Tolerance: DefaultTolerance,
+		}},
+	}
+	for _, c := range cases {
+		got := c.in.Canonical()
+		if got != c.want {
+			t.Errorf("Canonical(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+		if again := got.Canonical(); again != got {
+			t.Errorf("Canonical not idempotent: %+v → %+v", got, again)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 6 || kinds[0] != KindPaper {
+		t.Fatalf("Kinds() = %v", kinds)
+	}
+	for _, k := range kinds {
+		if sum, ok := Describe(k); !ok || sum == "" {
+			t.Errorf("Describe(%q) = %q, %v", k, sum, ok)
+		}
+	}
+	if sum, ok := Describe(""); !ok || !strings.Contains(sum, "paper") {
+		t.Errorf("Describe(\"\") = %q, %v — want the paper default", sum, ok)
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("Describe accepted an unknown kind")
+	}
+}

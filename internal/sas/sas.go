@@ -343,6 +343,7 @@ func (a *Agent) handleResponse(n *node.Node, from radio.NodeID, m core.Response)
 		State:            m.State,
 		Velocity:         m.Velocity,
 		HasVelocity:      m.HasVelocity,
+		HasDirection:     m.HasDirection,
 		PredictedArrival: m.PredictedArrival,
 		DetectedAt:       m.DetectedAt,
 		Detected:         m.Detected,
@@ -389,10 +390,13 @@ func (a *Agent) sendResponse(n *node.Node) {
 		return
 	}
 	n.Broadcast(core.Response{
-		Pos:              n.Pos(),
-		State:            n.State(),
+		Pos:   n.Pos(),
+		State: n.State(),
+		// The velocity field carries a bare magnitude; HasDirection stays
+		// unset so receivers never project along the placeholder heading.
 		Velocity:         core.ScalarVelocity(a.speed),
 		HasVelocity:      a.hasSpeed,
+		HasDirection:     false,
 		PredictedArrival: a.detectedAt,
 		DetectedAt:       a.detectedAt,
 		Detected:         a.detected,

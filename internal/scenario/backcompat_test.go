@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -38,6 +39,110 @@ func TestLegacyFailuresJSONBackCompat(t *testing.T) {
 	const preFaultHash = "05f2cbeab5c9dfe3a101e07d08eab7510703686fd8436a27436149b1c3429c52"
 	if h != preFaultHash {
 		t.Errorf("legacy spec hash drifted:\ngot  %s\nwant %s", h, preFaultHash)
+	}
+}
+
+// TestLegacyPredictorJSONBackCompat pins that protocol specs written before
+// the predictor portfolio still hash to the same content address: a spec with
+// no predictor section must canonicalize byte-identically to its pre-predictor
+// encoding, and an explicit paper-kind section must collapse onto it. The hash
+// literal was computed on the pre-predictor tree; if this test fails, cached
+// simulations keyed by old clients have silently gone stale.
+func TestLegacyPredictorJSONBackCompat(t *testing.T) {
+	data := []byte(`{
+	  "name": "canon-pred-test",
+	  "field": {"Min": {"X": 0, "Y": 0}, "Max": {"X": 40, "Y": 40}},
+	  "nodes": 10,
+	  "horizon": 100,
+	  "radio": {"range": 10},
+	  "stimulus": {"kind": "radial", "origin": {"X": 0, "Y": 20}, "speed": 0.5, "start": 10},
+	  "protocol": {"name": "pas", "maxSleep": 20, "alertThreshold": 15, "liveness": {"missK": 3, "interval": 5}}
+	}`)
+	sp, err := Decode(data)
+	if err != nil {
+		t.Fatalf("pre-predictor protocol JSON no longer decodes: %v", err)
+	}
+	h, err := Hash(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prePredictorHash = "ab3bef3cac31b09b43d4294f3be14827bff191f02d95b132e7548beecc46671f"
+	if h != prePredictorHash {
+		t.Errorf("legacy protocol spec hash drifted:\ngot  %s\nwant %s", h, prePredictorHash)
+	}
+	// An explicit default-predictor section is behaviourally identical and
+	// must share the content address.
+	sp.Protocol.Predictor = &PredictorSpec{Kind: "paper"}
+	if hp, err := Hash(sp); err != nil || hp != prePredictorHash {
+		t.Errorf("explicit paper predictor changed the hash: %s, %v", hp, err)
+	}
+
+	const preMinimalHash = "0f25be06e54e78aa53fcaed34ab7e32d2c06ac9fc6d932daebb8c91355c3a214"
+	if h, err := Hash(minimalSpec()); err != nil || h != preMinimalHash {
+		t.Errorf("minimal spec hash drifted: %s, %v (want %s)", h, err, preMinimalHash)
+	}
+}
+
+// TestPredictorHashEquivalence extends the canonicalization contract to the
+// predictor portfolio: kind defaults materialize and irrelevant parameters
+// drop onto one hash, while behaviourally distinct predictors stay distinct.
+func TestPredictorHashEquivalence(t *testing.T) {
+	base := minimalSpec()
+
+	equal := []struct {
+		name string
+		a, b *PredictorSpec
+	}{
+		{"absent vs explicit paper", nil, &PredictorSpec{Kind: "paper"}},
+		{"paper ignores parameters", &PredictorSpec{Kind: "paper", Mu: 1.9}, nil},
+		{"lms default mu spelled out", &PredictorSpec{Kind: "lms"}, &PredictorSpec{Kind: "lms", Mu: 0.5}},
+		{"lms ignores alpha", &PredictorSpec{Kind: "lms", Alpha: 0.9}, &PredictorSpec{Kind: "lms"}},
+		{"kalman defaults spelled out", &PredictorSpec{Kind: "kalman"},
+			&PredictorSpec{Kind: "kalman", ProcessVar: 1, MeasureVar: 4}},
+	}
+	for _, tc := range equal {
+		a, b := base, base
+		a.Protocol.Predictor = tc.a
+		b.Protocol.Predictor = tc.b
+		ha, err := Hash(a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		hb, err := Hash(b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ha != hb {
+			t.Errorf("%s: hashes differ for semantically equal specs", tc.name)
+		}
+	}
+
+	distinct := []*PredictorSpec{
+		{Kind: "lms"},
+		{Kind: "lms", Mu: 1.5},
+		{Kind: "ewma"},
+		{Kind: "ar"},
+		{Kind: "ar", Order: 3},
+		{Kind: "kalman"},
+		{Kind: "switching"},
+		{Kind: "switching", Tolerance: 2},
+	}
+	hbase, err := Hash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{hbase: "base"}
+	for _, pr := range distinct {
+		s := base
+		s.Protocol.Predictor = pr
+		h, err := Hash(s)
+		if err != nil {
+			t.Fatalf("%+v: %v", pr, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%+v: behaviorally distinct predictor hashed equal to %s", pr, prev)
+		}
+		seen[h] = fmt.Sprintf("%+v", pr)
 	}
 }
 

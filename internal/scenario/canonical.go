@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/predict"
 )
 
 // Canonical renders the spec as canonical JSON: validated, defaults
@@ -224,7 +225,9 @@ func (f FailureSpec) Extended() bool {
 // harness fills in when a spec pins the cap but not the increment, and the
 // liveness backoff defaults (mirroring fault.LivenessConfig.WithDefaults), so
 // a spec that spells out the defaults hashes equal to one that omits them. A
-// disabled liveness section (missK or interval unset) drops entirely.
+// disabled liveness section (missK or interval unset) drops entirely, and the
+// predictor section follows predict.Spec.Canonical — with a paper-kind spec
+// dropping to nil so pre-predictor content addresses are preserved.
 func (p ProtocolSpec) normalized() ProtocolSpec {
 	if p.MaxSleep > 0 && p.SleepIncrement == 0 {
 		p.SleepIncrement = p.MaxSleep / 5
@@ -244,6 +247,15 @@ func (p ProtocolSpec) normalized() ProtocolSpec {
 				v.MaxProbes = 3
 			}
 			p.Liveness = &v
+		}
+	}
+	if pr := p.Predictor; pr != nil {
+		c := pr.Spec().Canonical()
+		if c.Kind == predict.KindPaper {
+			p.Predictor = nil
+		} else {
+			v := predictorSpecOf(c)
+			p.Predictor = &v
 		}
 	}
 	return p

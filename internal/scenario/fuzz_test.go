@@ -29,6 +29,12 @@ func FuzzScenarioJSON(f *testing.F) {
 		`"sensor":{"fraction":0.3,"drift":3,"stuck":0.2,"burstRate":2,"burstLen":2},` +
 		`"radio":{"start":35,"end":105,"loss":0.15}},` +
 		`"protocol":{"name":"pas","liveness":{"missK":3,"interval":5,"backoffInit":2,"backoffMax":16}}}`))
+	// A predictor-bearing protocol section, so the fuzzer mutates every
+	// predictor field (kind, filter tunables, tolerance) from the start.
+	f.Add([]byte(`{"name":"pred","field":{"Min":{"X":0,"Y":0},"Max":{"X":40,"Y":40}},"nodes":10,"horizon":100,` +
+		`"radio":{"range":10},"stimulus":{"kind":"radial","origin":{"X":0,"Y":20},"speed":0.5,"start":10},` +
+		`"protocol":{"name":"pas","maxSleep":20,` +
+		`"predictor":{"kind":"switching","mu":0.5,"alpha":0.3,"order":2,"processVar":1,"measureVar":4,"tolerance":1}}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := Decode(data)
 		if err != nil {

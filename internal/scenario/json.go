@@ -30,6 +30,7 @@ func Decode(data []byte) (Scenario, error) {
 	if err := dec.Decode(&s); err != nil {
 		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
 	}
+	s.Stimulus.dropEmptySlices()
 	if err := s.Validate(); err != nil {
 		return Scenario{}, err
 	}

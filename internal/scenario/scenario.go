@@ -20,6 +20,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/diffusion"
 	"repro/internal/geom"
+	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/rng"
 )
@@ -423,6 +424,48 @@ type ProtocolSpec struct {
 	// Liveness enables the sink-side liveness tracker (suspect after
 	// MissK silent intervals, backoff re-probes, then declare dead).
 	Liveness *LivenessSpec `json:"liveness,omitempty"`
+	// Predictor selects the arrival-prediction model the PAS agent runs
+	// (nil or kind "paper" = the §3.3 estimator, byte-identical to every
+	// pre-predictor release).
+	Predictor *PredictorSpec `json:"predictor,omitempty"`
+}
+
+// PredictorSpec selects and tunes the PAS arrival predictor; it mirrors
+// predict.Spec field for field (see internal/predict for kinds, parameter
+// meanings and defaults). Zero parameters take the kind's defaults. The
+// scenario layer additionally requires a finite tolerance: the canonical
+// encoding is JSON, which cannot carry +Inf (the +Inf "never report" setting
+// remains available programmatically through core.Config).
+type PredictorSpec struct {
+	Kind       string  `json:"kind,omitempty"`
+	Mu         float64 `json:"mu,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	Order      int     `json:"order,omitempty"`
+	ProcessVar float64 `json:"processVar,omitempty"`
+	MeasureVar float64 `json:"measureVar,omitempty"`
+	Tolerance  float64 `json:"tolerance,omitempty"`
+}
+
+// Spec converts to the predict-layer spec the run path consumes.
+func (p PredictorSpec) Spec() predict.Spec {
+	return predict.Spec{
+		Kind: p.Kind, Mu: p.Mu, Alpha: p.Alpha, Order: p.Order,
+		ProcessVar: p.ProcessVar, MeasureVar: p.MeasureVar, Tolerance: p.Tolerance,
+	}
+}
+
+func predictorSpecOf(s predict.Spec) PredictorSpec {
+	return PredictorSpec{
+		Kind: s.Kind, Mu: s.Mu, Alpha: s.Alpha, Order: s.Order,
+		ProcessVar: s.ProcessVar, MeasureVar: s.MeasureVar, Tolerance: s.Tolerance,
+	}
+}
+
+func (p *PredictorSpec) validate() error {
+	if math.IsInf(p.Tolerance, 1) {
+		return fmt.Errorf("predictor tolerance +Inf is not JSON-encodable; set it through core.Config instead")
+	}
+	return p.Spec().Validate()
 }
 
 // LivenessSpec tunes the sink-side peer liveness tracker of the PAS/SAS
@@ -465,6 +508,11 @@ func (p ProtocolSpec) validate() error {
 	}
 	if p.Liveness != nil {
 		if err := p.Liveness.validate(); err != nil {
+			return err
+		}
+	}
+	if p.Predictor != nil {
+		if err := p.Predictor.validate(); err != nil {
 			return err
 		}
 	}

@@ -65,6 +65,21 @@ type SpeedPatch struct {
 	Speed float64   `json:"speed"`
 }
 
+// dropEmptySlices nils out empty slices a JSON "[]" literal decodes to:
+// omitempty drops them on re-encode, so a non-nil empty slice would break the
+// decode → encode → decode identity the codec guarantees.
+func (s *StimulusSpec) dropEmptySlices() {
+	if len(s.Sources) == 0 {
+		s.Sources = nil
+	}
+	for i := range s.Sources {
+		s.Sources[i].dropEmptySlices()
+	}
+	if s.Eikonal != nil && len(s.Eikonal.Patches) == 0 {
+		s.Eikonal.Patches = nil
+	}
+}
+
 func (s StimulusSpec) validate() error {
 	if s.Dwell < 0 {
 		return fmt.Errorf("negative stimulus dwell %g", s.Dwell)

@@ -125,6 +125,40 @@
 //
 //	go test ./internal/experiment -run 'TestGoldenTraces/ext-faults' -update
 //
+// # Prediction
+//
+// The PAS agent's arrival prediction is a plugin (internal/predict): the
+// agent embeds a predict.Model by value and delegates velocity tracking, ETA
+// estimation and the report gate to it, so the prediction model is selectable
+// per run without touching protocol code. The registry ships six kinds:
+//
+//   - "paper" (the default) publishes the raw §3.3 estimator reading —
+//     byte-identical to every pre-predictor release; all goldens pin this.
+//   - "lms" adapts a two-tap normalized LMS linear predictor (step size Mu)
+//     over successive arrival readings.
+//   - "ewma" exponentially smooths the reading (weight Alpha).
+//   - "ar" fits an AR(k) model (Order ≤ 4) over a sliding window by
+//     ridge-stabilized least squares.
+//   - "kalman" runs a scalar random-walk Kalman filter (ProcessVar,
+//     MeasureVar).
+//   - "switching" runs the whole portfolio and publishes the arm with the
+//     best exponentially discounted one-step error — and implements the
+//     dual-prediction scheme: a report is suppressed while the model's
+//     prediction stays within Tolerance of the raw reading, since neighbours
+//     running the same model reconstruct it on their own (+Inf tolerance
+//     suppresses every report).
+//
+// Every predictor is zero-alloc on the step path (fixed-size ring buffers,
+// state embedded in the agent slab; alloc tests and BenchmarkPredictorStep
+// pin 0 allocs/op). Selection is scenario-addressable — ProtocolSpec gains a
+// PredictorSpec section (PASConfig.Predictor programmatically; -predictor on
+// passim/pasbench) — and canonicalization-aware: a spec without a predictor
+// section, or with an explicit default one, keeps its pre-predictor content
+// hash. Metrics gains the prediction-quality measures (arrival RMSE over
+// detecting nodes, report suppressions, max staleness) and ext-predictors
+// sweeps the portfolio inside PAS against the NS/SAS brackets on both the
+// analytic radial front and the PDE plume.
+//
 // # Performance
 //
 // The run path is engineered for zero steady-state allocations and no
@@ -190,9 +224,10 @@
 // (internal/experiment/testdata/golden): fresh serial and 8-way-parallel
 // runs of fig4, ext-plume, ext-lifetime, ext-lossy-csma (the
 // imperfect-channel + collisions + CSMA workload, so every consumer of
-// channel randomness is trace-pinned against the frozen CSR rows) and
-// ext-faults (churn, miscalibration, degradation and liveness probing) must
-// match the committed output byte-for-byte; regenerate intentionally with
+// channel randomness is trace-pinned against the frozen CSR rows), ext-faults
+// (churn, miscalibration, degradation and liveness probing) and
+// ext-predictors (every filter arm's numerics) must match the committed
+// output byte-for-byte; regenerate intentionally with
 // `go test ./internal/experiment -run TestGoldenTraces -update`.
 //
 // To profile a hot path, run the harness under pprof directly:
@@ -207,7 +242,7 @@
 // scale-1m run fits comfortably (~1M nodes, ~30M directed CSR edges against
 // the 2^31 ceilings).
 //
-// BENCH_3.json pins the benchmark baseline (BENCH_1.json and BENCH_2.json
+// BENCH_4.json pins the benchmark baseline (BENCH_1.json through BENCH_3.json
 // are kept as historical points); `go run ./cmd/benchcheck` compares fresh
 // `go test -bench` output against it (CI does this automatically, warning
 // on >20% drift in ns/op or allocs/op — for the zero-alloc baselines any
@@ -258,6 +293,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/node"
+	"repro/internal/predict"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/sas"
@@ -445,7 +481,30 @@ type (
 	LivenessSpec = scenario.LivenessSpec
 	// ProtocolSpec optionally pins the protocol and its headline tunables.
 	ProtocolSpec = scenario.ProtocolSpec
+	// PredictorSpec selects the PAS arrival predictor in a scenario's
+	// protocol section (kind + filter tunables; see the Prediction doc
+	// section).
+	PredictorSpec = scenario.PredictorSpec
 )
+
+// Arrival prediction (internal/predict).
+type (
+	// PredictorConfig selects and tunes the PAS arrival predictor
+	// programmatically (PASConfig.Predictor); the zero value is the paper
+	// estimator. Kinds: "paper", "lms", "ewma", "ar", "kalman", "switching".
+	PredictorConfig = predict.Spec
+	// PredictionStats snapshots a predictor's per-run quality counters
+	// (squared arrival error, report suppressions, staleness).
+	PredictionStats = predict.Stats
+)
+
+// PredictorKinds lists the registered predictor kinds in registry order
+// ("paper" first).
+func PredictorKinds() []string { return predict.Kinds() }
+
+// DescribePredictor returns a one-line summary of a predictor kind ("" means
+// the default) and whether the kind is known.
+func DescribePredictor(kind string) (string, bool) { return predict.Describe(kind) }
 
 // Fault injection (internal/fault).
 type (
@@ -496,6 +555,13 @@ func RunConfigFromScenario(sp ScenarioSpec, seed int64) (RunConfig, error) {
 // registry scenario — the engine behind `pasbench -scenario`.
 func ScenarioSweepExperiment(name string) (Experiment, error) {
 	return experiment.ScenarioSweep(name)
+}
+
+// ScenarioSweepPredictorExperiment is ScenarioSweepExperiment with the PAS
+// arrival predictor pinned to the named kind ("" keeps the scenario's own) —
+// the engine behind `pasbench -scenario -predictor`.
+func ScenarioSweepPredictorExperiment(name, predictor string) (Experiment, error) {
+	return experiment.ScenarioSweepPredictor(name, predictor)
 }
 
 // CanonicalScenario returns the spec's canonical JSON encoding: validated,
