@@ -10,17 +10,26 @@
 //	passerve -workers 8 -queue 32     # pool sizing (admission beyond → 429)
 //	passerve -timeout 10s -max-timeout 1m
 //	passerve -cache 16384             # result-store capacity (entries)
+//	passerve -store /var/lib/passerve # durable store + job journal (crash-safe)
+//	passerve -job-timeout 30m         # async-job execution cap
 //
 // Endpoints:
 //
-//	POST /v1/runs       {"name":"paper","seed":1}             one simulation
-//	POST /v1/replicate  {"name":"paper","seeds":[1,2,3]}      seed aggregate
+//	POST /v1/runs            {"name":"paper","seed":1}        one simulation
+//	POST /v1/replicate       {"name":"paper","seeds":[1,2,3]} seed aggregate
+//	POST /v1/jobs            async submission (202 + job ID; journaled)
+//	GET  /v1/jobs/{id}       job status (?stream=1 for NDJSON progress)
+//	GET  /v1/jobs/{id}/result  the finished body
 //	GET  /v1/scenarios                                        the registry
 //	GET  /v1/stats                                            serving counters
 //	GET  /v1/healthz                                          liveness
 //
-// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain, then the listener closes.
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// admitting, in-flight requests drain, acknowledged jobs run to completion
+// (bounded by the drain timeout), and the journal and store are fsynced. A
+// job the drain deadline cuts off stays incomplete in the journal, so the
+// next start re-executes it — with -store set, kill -9 at any instant loses
+// no acknowledged work.
 package main
 
 import (
@@ -55,6 +64,8 @@ func parseFlags(args []string, stderr io.Writer) (addr string, cfg pas.ServeConf
 	fs.DurationVar(&cfg.DefaultTimeout, "timeout", 0, "default per-request deadline (0 = 30s)")
 	fs.DurationVar(&cfg.MaxTimeout, "max-timeout", 0, "hard cap on request deadlines (0 = 2m)")
 	fs.IntVar(&cfg.CacheEntries, "cache", 0, "result-store capacity in entries (0 = 4096)")
+	fs.StringVar(&cfg.StoreDir, "store", "", "durable store directory (empty = memory-only)")
+	fs.DurationVar(&cfg.JobTimeout, "job-timeout", 0, "async-job execution cap (0 = 10m)")
 	err = fs.Parse(args)
 	return addr, cfg, err
 }
@@ -75,7 +86,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "passerve: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: pas.NewServer(cfg)}
+	handler, err := pas.NewServer(cfg)
+	if err != nil {
+		ln.Close()
+		fmt.Fprintf(stderr, "passerve: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(stdout, "passerve listening on http://%s\n", ln.Addr())
 
 	errc := make(chan error, 1)
@@ -89,12 +106,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
+	// Graceful drain: stop the listener and finish in-flight requests, then
+	// let acknowledged jobs run to completion and fsync the journal/store.
+	// Jobs the deadline cuts off stay incomplete in the journal and replay on
+	// the next start — graceful shutdown degrades to crash recovery, never to
+	// lost work.
 	fmt.Fprintln(stdout, "passerve shutting down")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	code := 0
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(stderr, "passerve: shutdown: %v\n", err)
-		return 1
+		code = 1
 	}
-	return 0
+	if err := handler.Drain(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "passerve: drain: %v\n", err)
+		code = 1
+	}
+	if err := handler.Close(); err != nil {
+		fmt.Fprintf(stderr, "passerve: close: %v\n", err)
+		code = 1
+	}
+	return code
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -88,6 +89,115 @@ func TestServeAndShutdown(t *testing.T) {
 	if !strings.Contains(stdout.String(), "shutting down") {
 		t.Fatalf("no shutdown notice in stdout: %q", stdout.String())
 	}
+}
+
+// waitForAddr scrapes the daemon's announced base URL from stdout.
+func waitForAddr(t *testing.T, stdout *syncBuffer, stderr *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		if out := stdout.String(); strings.Contains(out, "listening on ") {
+			line := out[strings.Index(out, "listening on ")+len("listening on "):]
+			return strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGracefulDrainFinishesJobs pins the SIGTERM drain contract end to end:
+// a job acknowledged before the signal completes during the drain (journal
+// terminal entry and all), and the restarted daemon has nothing to replay —
+// the result is already on disk and served from the durable tier.
+func TestGracefulDrainFinishesJobs(t *testing.T) {
+	store := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-store", store}, &stdout, &stderr)
+	}()
+	base := waitForAddr(t, &stdout, &stderr)
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"name":"paper","seed":31}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		ID  string `json:"id"`
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Signal immediately: the drain must let the acknowledged job finish.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+
+	// Restart on the same store: the job must be done (not replayed — its
+	// terminal entry survived the drain's fsync) and the result on disk.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var stdout2, stderr2 syncBuffer
+	done2 := make(chan int, 1)
+	go func() {
+		done2 <- run(ctx2, []string{"-addr", "127.0.0.1:0", "-store", store}, &stdout2, &stderr2)
+	}()
+	base2 := waitForAddr(t, &stdout2, &stderr2)
+
+	resp, err = http.Get(base2 + "/v1/jobs/" + acc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"state":"done"`) {
+		t.Fatalf("restarted daemon job status: %s", body)
+	}
+	resp, err = http.Post(base2+"/v1/runs", "application/json",
+		strings.NewReader(`{"name":"paper","seed":31}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if c := resp.Header.Get("X-Cache"); c != "hit-disk" {
+		t.Fatalf("restarted daemon X-Cache = %q, want hit-disk", c)
+	}
+	var st struct {
+		JobsReplayed uint64 `json:"jobsReplayed"`
+		StoreEntries int    `json:"storeEntries"`
+	}
+	resp, err = http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.JobsReplayed != 0 || st.StoreEntries == 0 {
+		t.Fatalf("restart stats = %+v, want 0 replays and persisted entries", st)
+	}
+	cancel2()
+	<-done2
 }
 
 // TestFlagErrors pins the CLI error paths.

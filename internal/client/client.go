@@ -1,0 +1,444 @@
+// Package client is pasclient: a retrying HTTP client for the passerve
+// simulation service, built around the server's stable error-code contract.
+//
+// The retry policy is code-driven, never message-driven: transient codes
+// (saturated, deadline, internal, draining) and transport errors retry under
+// capped exponential backoff with full jitter, honoring any Retry-After the
+// server sends; permanent codes (bad_request, not_found, panic, job_failed)
+// fail immediately — determinism means resending identical bytes reproduces
+// the identical failure. Submissions carry an idempotency key derived from
+// the request body, so a retried submit that raced a crash or a timeout
+// collapses onto the job the first attempt may already have acknowledged
+// instead of minting duplicate work. A consecutive-failure circuit breaker
+// fails fast while the server is down and probes with single requests once
+// the cooldown expires.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Error codes mirrored from the serving layer's contract (stable; additions
+// only). Duplicated rather than imported so the client stays a pure consumer
+// of the wire protocol.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeSaturated  = "saturated"
+	CodeDeadline   = "deadline"
+	CodePanic      = "panic"
+	CodeInternal   = "internal"
+	CodeNotReady   = "not_ready"
+	CodeJobFailed  = "job_failed"
+	CodeDraining   = "draining"
+)
+
+// APIError is a decoded 4xx/5xx response.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // stable machine-readable code
+	Message string // human message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("passerve: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Transient reports whether retrying the identical request can succeed.
+// Unknown codes default to transient — a new server-side failure mode should
+// not strand clients that predate it.
+func (e *APIError) Transient() bool {
+	switch e.Code {
+	case CodeBadRequest, CodeNotFound, CodePanic, CodeJobFailed:
+		return false
+	}
+	return true
+}
+
+// ErrBreakerOpen is returned (wrapped) while the circuit breaker is open and
+// the cooldown has not expired: the request was not sent.
+var ErrBreakerOpen = errors.New("pasclient: circuit breaker open")
+
+// Config tunes a Client. The zero value (plus a BaseURL) is usable.
+type Config struct {
+	// BaseURL roots every request, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts caps tries per call, first attempt included (0 = 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff cap (0 = 100ms); attempt n
+	// waits a uniformly jittered fraction of min(BaseBackoff·2ⁿ, MaxBackoff).
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep (0 = 5s).
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt (0 = 60s); the call's
+	// ctx still bounds the whole retry loop.
+	AttemptTimeout time.Duration
+	// BreakerThreshold opens the breaker after this many consecutive
+	// transient failures (0 = 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before allowing a
+	// probe (0 = 10s).
+	BreakerCooldown time.Duration
+
+	// now/sleep/jitter are test seams; nil uses the real clock and math/rand.
+	now    func() time.Time
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 60 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.sleep == nil {
+		c.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if c.jitter == nil {
+		c.jitter = rand.Float64
+	}
+	return c
+}
+
+// Client is a retrying passerve client. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu         sync.Mutex
+	consecFail int       // consecutive transient failures
+	openUntil  time.Time // breaker open until (zero = closed)
+}
+
+// New builds a Client against baseURL with default tuning.
+func New(baseURL string) *Client { return NewWithConfig(Config{BaseURL: baseURL}) }
+
+// NewWithConfig builds a Client from cfg (zero fields defaulted).
+func NewWithConfig(cfg Config) *Client {
+	return &Client{cfg: cfg.withDefaults()}
+}
+
+// --- breaker ---
+
+// admit checks the breaker; an open breaker within its cooldown rejects, one
+// past it allows exactly this request through as a probe.
+func (c *Client) admit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.openUntil.IsZero() {
+		return nil
+	}
+	if c.cfg.now().Before(c.openUntil) {
+		return fmt.Errorf("%w until %s", ErrBreakerOpen, c.openUntil.Format(time.RFC3339))
+	}
+	// Half-open: let this request probe; push the window forward so a failing
+	// probe re-opens rather than unleashing a thundering herd.
+	c.openUntil = c.cfg.now().Add(c.cfg.BreakerCooldown)
+	return nil
+}
+
+// observe records an attempt outcome into the breaker state.
+func (c *Client) observe(transientFailure bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !transientFailure {
+		c.consecFail = 0
+		c.openUntil = time.Time{}
+		return
+	}
+	c.consecFail++
+	if c.consecFail >= c.cfg.BreakerThreshold {
+		c.openUntil = c.cfg.now().Add(c.cfg.BreakerCooldown)
+	}
+}
+
+// --- core retry loop ---
+
+// do executes one logical call with retries. body is resent verbatim on every
+// attempt; headers are applied to each request.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, headers map[string]string) ([]byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt, lastErr); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := c.admit(); err != nil {
+			return nil, nil, err
+		}
+		respBody, respHeader, err := c.attempt(ctx, method, path, body, headers)
+		if err == nil {
+			c.observe(false)
+			return respBody, respHeader, nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && !ae.Transient() {
+			c.observe(false) // the server answered; the request is just wrong
+			return nil, nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, nil, err
+		}
+		c.observe(true)
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("pasclient: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt is one HTTP round trip under the per-attempt timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, headers map[string]string) ([]byte, http.Header, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, nil, decodeAPIError(resp, b)
+	}
+	return b, resp.Header, nil
+}
+
+// decodeAPIError lifts an error response into an APIError, tunneling any
+// Retry-After through for the backoff to honor.
+func decodeAPIError(resp *http.Response, body []byte) error {
+	ae := &APIError{Status: resp.StatusCode, Code: CodeInternal}
+	var wire struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &wire) == nil && wire.Code != "" {
+		ae.Code, ae.Message = wire.Code, wire.Error
+	} else {
+		ae.Message = string(body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			return &retryAfterError{APIError: ae, after: time.Duration(secs) * time.Second}
+		}
+	}
+	return ae
+}
+
+// retryAfterError decorates an APIError with the server's explicit delay.
+type retryAfterError struct {
+	*APIError
+	after time.Duration
+}
+
+func (e *retryAfterError) Unwrap() error { return e.APIError }
+
+// backoff sleeps before retry number attempt (1-based): full-jitter capped
+// exponential, with a server-sent Retry-After as the floor when present.
+func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error {
+	capd := c.cfg.BaseBackoff << (attempt - 1)
+	if capd > c.cfg.MaxBackoff || capd <= 0 {
+		capd = c.cfg.MaxBackoff
+	}
+	d := time.Duration(c.cfg.jitter() * float64(capd))
+	var rae *retryAfterError
+	if errors.As(lastErr, &rae) && rae.after > d {
+		d = rae.after
+	}
+	return c.cfg.sleep(ctx, d)
+}
+
+// --- API surface ---
+
+// RunRequest selects one simulation (POST /v1/runs) or, with Seeds/Reps, a
+// replication (POST /v1/replicate). The shapes mirror the server's request
+// schema; zero fields are omitted from the wire.
+type RunRequest struct {
+	Name       string          `json:"name,omitempty"`
+	Scenario   json.RawMessage `json:"scenario,omitempty"`
+	Protocol   string          `json:"protocol,omitempty"`
+	Seed       int64           `json:"seed,omitempty"`
+	Seeds      []int64         `json:"seeds,omitempty"`
+	Reps       int             `json:"reps,omitempty"`
+	TimeoutSec float64         `json:"timeoutSec,omitempty"`
+	Shards     int             `json:"shards,omitempty"`
+}
+
+// Run executes POST /v1/runs and returns the raw response body (the server's
+// RunResponse JSON, byte-identical across identical requests).
+func (c *Client) Run(ctx context.Context, req RunRequest) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := c.do(ctx, "POST", "/v1/runs", body, nil)
+	return out, err
+}
+
+// Replicate executes POST /v1/replicate.
+func (c *Client) Replicate(ctx context.Context, req RunRequest) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := c.do(ctx, "POST", "/v1/replicate", body, nil)
+	return out, err
+}
+
+// JobAccepted is the server's 202 acknowledgment.
+type JobAccepted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Key   string `json:"key"`
+}
+
+// JobStatus is one GET /v1/jobs/{id} snapshot.
+type JobStatus struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Progress  float64 `json:"progress"`
+	Key       string  `json:"key"`
+	Error     string  `json:"error,omitempty"`
+	ErrorCode string  `json:"errorCode,omitempty"`
+}
+
+// jobRequest is RunRequest plus the job mode.
+type jobRequest struct {
+	Mode string `json:"mode,omitempty"`
+	RunRequest
+}
+
+// SubmitJob submits an async job (mode "run" or "replicate"; empty = run).
+// The request body's SHA-256 rides as the Idempotency-Key, so retried
+// submissions — including ones whose first attempt was acknowledged but whose
+// response was lost — collapse onto one server-side job instead of two.
+func (c *Client) SubmitJob(ctx context.Context, mode string, req RunRequest) (JobAccepted, error) {
+	body, err := json.Marshal(jobRequest{Mode: mode, RunRequest: req})
+	if err != nil {
+		return JobAccepted{}, err
+	}
+	sum := sha256.Sum256(body)
+	headers := map[string]string{"Idempotency-Key": hex.EncodeToString(sum[:16])}
+	out, _, err := c.do(ctx, "POST", "/v1/jobs", body, headers)
+	if err != nil {
+		return JobAccepted{}, err
+	}
+	var acc JobAccepted
+	if err := json.Unmarshal(out, &acc); err != nil {
+		return JobAccepted{}, fmt.Errorf("pasclient: decoding acknowledgment: %w", err)
+	}
+	return acc, nil
+}
+
+// JobStatusOnce fetches one status snapshot.
+func (c *Client) JobStatusOnce(ctx context.Context, id string) (JobStatus, error) {
+	out, _, err := c.do(ctx, "GET", "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return JobStatus{}, fmt.Errorf("pasclient: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// jobPollInterval paces WaitJob's status polling.
+const jobPollInterval = 50 * time.Millisecond
+
+// WaitJob polls until the job settles, returning the terminal status. A
+// failed job returns the status AND an *APIError with code job_failed, so
+// callers can handle both uniformly with the other paths.
+func (c *Client) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.JobStatusOnce(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case "done":
+			return st, nil
+		case "failed":
+			return st, &APIError{Status: http.StatusGone, Code: CodeJobFailed, Message: st.Error}
+		}
+		if err := c.cfg.sleep(ctx, jobPollInterval); err != nil {
+			return st, err
+		}
+	}
+}
+
+// JobResult fetches a finished job's body (byte-identical to the synchronous
+// endpoint's response for the same work).
+func (c *Client) JobResult(ctx context.Context, id string) (json.RawMessage, error) {
+	out, _, err := c.do(ctx, "GET", "/v1/jobs/"+id+"/result", nil, nil)
+	return out, err
+}
+
+// RunJob is the convenience composition: submit, wait, fetch.
+func (c *Client) RunJob(ctx context.Context, mode string, req RunRequest) (json.RawMessage, error) {
+	acc, err := c.SubmitJob(ctx, mode, req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WaitJob(ctx, acc.ID); err != nil {
+		return nil, err
+	}
+	return c.JobResult(ctx, acc.ID)
+}

@@ -1,0 +1,257 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers each request from a script of (status, code) pairs;
+// requests past the script's end get the final entry. It records attempt
+// counts and idempotency keys.
+type scripted struct {
+	status []int
+	code   []string
+	retry  []int // Retry-After seconds, 0 = none
+
+	calls atomic.Int64
+	idems []string
+}
+
+func (sc *scripted) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		i := int(sc.calls.Add(1)) - 1
+		if i >= len(sc.status) {
+			i = len(sc.status) - 1
+		}
+		if k := r.Header.Get("Idempotency-Key"); k != "" {
+			sc.idems = append(sc.idems, k)
+		}
+		if ra := sc.retry; len(ra) > 0 && ra[min(i, len(ra)-1)] > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(ra[min(i, len(ra)-1)]))
+		}
+		st := sc.status[i]
+		if st >= 400 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(st)
+			json.NewEncoder(w).Encode(map[string]string{"code": sc.code[i], "error": "scripted"})
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// testClient builds a client against a scripted server with instant sleeps
+// and deterministic jitter, recording every backoff duration.
+func testClient(t *testing.T, sc *scripted, mut func(*Config)) (*Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(sc.handler())
+	t.Cleanup(ts.Close)
+	var slept []time.Duration
+	cfg := Config{
+		BaseURL: ts.URL,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		},
+		jitter: func() float64 { return 1.0 }, // deterministic: full cap
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return NewWithConfig(cfg), &slept
+}
+
+// TestRetryMatrix sweeps the code → retry-policy contract: each row scripts a
+// failure mode and pins how many attempts the client spends on it.
+func TestRetryMatrix(t *testing.T) {
+	cases := []struct {
+		name     string
+		status   []int
+		code     []string
+		attempts int64
+		wantErr  string // final APIError code, "" for success
+	}{
+		{"success first try", []int{200}, []string{""}, 1, ""},
+		{"saturated then ok", []int{429, 200}, []string{CodeSaturated, ""}, 2, ""},
+		{"internal then ok", []int{500, 200}, []string{CodeInternal, ""}, 2, ""},
+		{"deadline then ok", []int{504, 200}, []string{CodeDeadline, ""}, 2, ""},
+		{"draining then ok", []int{503, 200}, []string{CodeDraining, ""}, 2, ""},
+		{"bad request no retry", []int{400}, []string{CodeBadRequest}, 1, CodeBadRequest},
+		{"not found no retry", []int{404}, []string{CodeNotFound}, 1, CodeNotFound},
+		{"panic no retry", []int{500}, []string{CodePanic}, 1, CodePanic},
+		{"job failed no retry", []int{410}, []string{CodeJobFailed}, 1, CodeJobFailed},
+		{"exhausted", []int{500, 500, 500, 500}, []string{CodeInternal, CodeInternal, CodeInternal, CodeInternal}, 4, CodeInternal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &scripted{status: tc.status, code: tc.code}
+			c, _ := testClient(t, sc, nil)
+			_, err := c.Run(context.Background(), RunRequest{Name: "paper", Seed: 1})
+			if got := sc.calls.Load(); got != tc.attempts {
+				t.Fatalf("attempts = %d, want %d", got, tc.attempts)
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.Code != tc.wantErr {
+				t.Fatalf("error = %v, want APIError code %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBackoffGrowsAndHonorsRetryAfter pins the backoff schedule: full-jitter
+// capped exponential (jitter pinned to 1.0 → exactly the caps), with a
+// server-sent Retry-After as the floor.
+func TestBackoffGrowsAndHonorsRetryAfter(t *testing.T) {
+	sc := &scripted{
+		status: []int{500, 500, 500, 200},
+		code:   []string{CodeInternal, CodeInternal, CodeInternal, ""},
+	}
+	c, slept := testClient(t, sc, func(cfg *Config) {
+		cfg.BaseBackoff = 10 * time.Millisecond
+		cfg.MaxBackoff = 15 * time.Millisecond
+		cfg.MaxAttempts = 4
+	})
+	if _, err := c.Run(context.Background(), RunRequest{Name: "paper"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond, 15 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("backoffs = %v, want %d sleeps", *slept, len(want))
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Fatalf("backoff[%d] = %v, want %v (capped exponential)", i, (*slept)[i], d)
+		}
+	}
+
+	// Retry-After outranks the computed backoff.
+	sc2 := &scripted{
+		status: []int{429, 200},
+		code:   []string{CodeSaturated, ""},
+		retry:  []int{2, 0},
+	}
+	c2, slept2 := testClient(t, sc2, func(cfg *Config) {
+		cfg.BaseBackoff = time.Millisecond
+		cfg.MaxBackoff = time.Millisecond
+	})
+	if _, err := c2.Run(context.Background(), RunRequest{Name: "paper"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept2) != 1 || (*slept2)[0] != 2*time.Second {
+		t.Fatalf("Retry-After sleeps = %v, want [2s]", *slept2)
+	}
+}
+
+// TestCircuitBreaker pins the breaker: it opens after the threshold of
+// consecutive transient failures, fails fast while open, and a successful
+// probe after the cooldown closes it.
+func TestCircuitBreaker(t *testing.T) {
+	sc := &scripted{status: []int{500}, code: []string{CodeInternal}}
+	now := time.Unix(1000, 0)
+	c, _ := testClient(t, sc, func(cfg *Config) {
+		cfg.MaxAttempts = 3
+		cfg.BreakerThreshold = 3
+		cfg.BreakerCooldown = 10 * time.Second
+		cfg.now = func() time.Time { return now }
+	})
+	// 3 transient failures inside one call: breaker opens.
+	if _, err := c.Run(context.Background(), RunRequest{Name: "paper"}); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	calls := sc.calls.Load()
+	if calls != 3 {
+		t.Fatalf("attempts = %d, want 3", calls)
+	}
+	// Open breaker: fail fast without touching the wire.
+	if _, err := c.Run(context.Background(), RunRequest{Name: "paper"}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker error = %v, want ErrBreakerOpen", err)
+	}
+	if sc.calls.Load() != calls {
+		t.Fatal("open breaker still sent a request")
+	}
+	// After the cooldown the probe goes through; a success closes the breaker.
+	now = now.Add(11 * time.Second)
+	sc.status, sc.code = []int{200}, []string{""}
+	sc.calls.Store(0)
+	if _, err := c.Run(context.Background(), RunRequest{Name: "paper"}); err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if _, err := c.Run(context.Background(), RunRequest{Name: "paper"}); err != nil {
+		t.Fatalf("closed breaker: %v", err)
+	}
+}
+
+// TestSubmitIdempotencyKey pins that retried submissions resend the SAME
+// derived idempotency key — the property that lets the server collapse a
+// retry of a lost 202 onto the original job.
+func TestSubmitIdempotencyKey(t *testing.T) {
+	sc := &scripted{
+		status: []int{500, 202},
+		code:   []string{CodeInternal, ""},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(sc.calls.Add(1)) - 1
+		sc.idems = append(sc.idems, r.Header.Get("Idempotency-Key"))
+		if sc.status[min(i, 1)] >= 400 {
+			w.WriteHeader(500)
+			json.NewEncoder(w).Encode(map[string]string{"code": CodeInternal, "error": "scripted"})
+			return
+		}
+		w.WriteHeader(202)
+		json.NewEncoder(w).Encode(JobAccepted{ID: "j000001", State: "pending", Key: "k"})
+	}))
+	t.Cleanup(ts.Close)
+	c := NewWithConfig(Config{
+		BaseURL: ts.URL,
+		sleep:   func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+		jitter:  func() float64 { return 0 },
+	})
+	acc, err := c.SubmitJob(context.Background(), "run", RunRequest{Name: "paper", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID != "j000001" {
+		t.Fatalf("acknowledgment %+v", acc)
+	}
+	if len(sc.idems) != 2 || sc.idems[0] == "" || sc.idems[0] != sc.idems[1] {
+		t.Fatalf("idempotency keys across retries = %v, want two identical non-empty", sc.idems)
+	}
+}
+
+// TestWaitJobFailure pins that a failed job surfaces as job_failed from
+// WaitJob, carrying the terminal status.
+func TestWaitJobFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: "failed", Error: "boom", ErrorCode: CodePanic})
+	}))
+	t.Cleanup(ts.Close)
+	c := NewWithConfig(Config{BaseURL: ts.URL})
+	st, err := c.WaitJob(context.Background(), "j1")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeJobFailed {
+		t.Fatalf("error = %v, want job_failed", err)
+	}
+	if st.Error != "boom" {
+		t.Fatalf("status = %+v, want the failure message", st)
+	}
+}

@@ -1,0 +1,57 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestClientAgainstServe drives the real serving layer end to end: an async
+// job through submit/wait/result equals the synchronous run byte for byte.
+func TestClientAgainstServe(t *testing.T) {
+	srv, err := serve.New(serve.Config{Workers: 2, Version: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL)
+	req := RunRequest{Name: "paper", Seed: 5}
+	jobBody, err := c.RunJob(context.Background(), "run", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncBody, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jobBody, syncBody) {
+		t.Fatalf("async and sync bodies differ:\n%s\n%s", jobBody, syncBody)
+	}
+
+	// The replicate path through both surfaces agrees too.
+	repReq := RunRequest{Name: "paper", Seeds: []int64{7, 8}}
+	repJob, err := c.RunJob(context.Background(), "replicate", repReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSync, err := c.Replicate(context.Background(), repReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repJob, repSync) {
+		t.Fatalf("async and sync replicate bodies differ:\n%s\n%s", repJob, repSync)
+	}
+
+	// A validation failure is a typed, permanent APIError.
+	if _, err := c.Run(context.Background(), RunRequest{Name: "nope"}); err == nil {
+		t.Fatal("unknown scenario should fail")
+	} else if ae, ok := err.(*APIError); !ok || ae.Code != CodeNotFound || ae.Transient() {
+		t.Fatalf("error = %v, want permanent not_found", err)
+	}
+}

@@ -110,9 +110,11 @@ const runContextChecks = 128
 // horizon/128 slices and stops between them once ctx is done, returning the
 // virtual time reached and ctx's error. Meters are only closed — and the
 // network only collectable — on a complete run. A context that cannot be
-// cancelled (ctx.Done() == nil, e.g. context.Background()) takes the
-// unsliced fast path, so Run keeps its historical single-RunUntil behavior
-// byte for byte.
+// cancelled (ctx.Done() == nil, e.g. context.Background()) and carries no
+// progress hook takes the unsliced fast path, so Run keeps its historical
+// single-RunUntil behavior byte for byte. A node.WithProgress hook on ctx is
+// called after every slice (and once at the horizon) — between slices no
+// handler runs, so observation cannot change one output bit.
 func (nw *Network) RunContext(ctx context.Context, horizon float64) (float64, error) {
 	if horizon <= 0 {
 		panic(fmt.Sprintf("node: horizon must be positive, got %g", horizon))
@@ -120,19 +122,26 @@ func (nw *Network) RunContext(ctx context.Context, horizon float64) (float64, er
 	for _, n := range nw.Nodes {
 		n.Start()
 	}
-	if ctx.Done() != nil {
+	progress := progressFrom(ctx)
+	if ctx.Done() != nil || progress != nil {
 		slice := horizon / runContextChecks
 		for t := slice; t < horizon; t += slice {
 			if err := ctx.Err(); err != nil {
 				return nw.Kernel.Now(), err
 			}
 			nw.Kernel.RunUntil(t)
+			if progress != nil {
+				progress(t, horizon)
+			}
 		}
 		if err := ctx.Err(); err != nil {
 			return nw.Kernel.Now(), err
 		}
 	}
 	nw.Kernel.RunUntil(horizon)
+	if progress != nil {
+		progress(horizon, horizon)
+	}
 	for _, n := range nw.Nodes {
 		n.Finish(horizon)
 	}

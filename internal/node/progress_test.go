@@ -1,0 +1,106 @@
+package node
+
+import (
+	"context"
+	"testing"
+)
+
+// TestProgressSerial pins the serial progress hook: monotone non-decreasing
+// reports ending exactly at the horizon, and a hooked run byte-identical to
+// an unhooked one.
+func TestProgressSerial(t *testing.T) {
+	const horizon = 2.0
+
+	plain := newFloodAgents()
+	BuildNetwork(lineConfig(plain)).Run(horizon)
+
+	hooked := newFloodAgents()
+	nw := BuildNetwork(lineConfig(hooked))
+	var reports []float64
+	ctx := WithProgress(context.Background(), func(now, h float64) {
+		if h != horizon {
+			t.Fatalf("hook horizon = %g, want %g", h, horizon)
+		}
+		reports = append(reports, now)
+	})
+	if _, err := nw.RunContext(ctx, horizon); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(reports) != runContextChecks {
+		t.Fatalf("got %d reports, want %d (one per slice incl. horizon)", len(reports), runContextChecks)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] < reports[i-1] {
+			t.Fatalf("progress regressed: %g after %g", reports[i], reports[i-1])
+		}
+	}
+	if last := reports[len(reports)-1]; last != horizon {
+		t.Fatalf("final report = %g, want the %g horizon", last, horizon)
+	}
+	for id := range plain {
+		if got, want := hooked[id].rx, plain[id].rx; len(got) != len(want) {
+			t.Fatalf("node %d: hooked run saw %d deliveries, plain %d", id, len(got), len(want))
+		}
+	}
+}
+
+// TestProgressSharded pins the sharded per-window hook: monotone reports,
+// final report at the horizon, and delivery sequences identical to the
+// serial unhooked run at 1, 2 and 3 shards.
+func TestProgressSharded(t *testing.T) {
+	const horizon = 2.0
+	const minWire = 12
+
+	serial := newFloodAgents()
+	BuildNetwork(lineConfig(serial)).Run(horizon)
+
+	for _, shards := range []int{1, 2, 3} {
+		agents := newFloodAgents()
+		snw := BuildShardedNetwork(lineConfig(agents), shards, minWire)
+		var reports []float64
+		ctx := WithProgress(context.Background(), func(now, h float64) {
+			if h != horizon {
+				t.Fatalf("shards=%d: hook horizon = %g, want %g", shards, h, horizon)
+			}
+			reports = append(reports, now)
+		})
+		if _, err := snw.RunContext(ctx, horizon); err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) < 2 {
+			t.Fatalf("shards=%d: only %d progress reports", shards, len(reports))
+		}
+		for i := 1; i < len(reports); i++ {
+			if reports[i] < reports[i-1] {
+				t.Fatalf("shards=%d: progress regressed: %g after %g", shards, reports[i], reports[i-1])
+			}
+		}
+		if last := reports[len(reports)-1]; last != horizon {
+			t.Fatalf("shards=%d: final report = %g, want the horizon", shards, last)
+		}
+		for id := range serial {
+			got, want := agents[id].rx, serial[id].rx
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d node %d: hooked run saw %d deliveries, serial %d",
+					shards, id, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d node %d delivery %d: %+v vs %+v", shards, id, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProgressAbsentKeepsFastPath pins that a background context without a
+// hook still takes the single-RunUntil fast path (observable through the
+// unchanged public behavior: the run completes and meters close).
+func TestProgressAbsentKeepsFastPath(t *testing.T) {
+	agents := newFloodAgents()
+	nw := BuildNetwork(lineConfig(agents))
+	if h, err := nw.RunContext(context.Background(), 2.0); err != nil || h != 2.0 {
+		t.Fatalf("RunContext = %g, %v", h, err)
+	}
+}

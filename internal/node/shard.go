@@ -150,11 +150,15 @@ const ctxCheckEvery = 256
 // window barriers. One goroutine per shard executes windows; this goroutine
 // orchestrates barriers, sequence merges and boundary flushes. On a
 // completed run every meter is closed and the return is (horizon, nil),
-// byte-identical to the serial Network.RunContext.
+// byte-identical to the serial Network.RunContext. A node.WithProgress hook
+// on ctx is called once per conservative window (from the orchestration
+// goroutine, at the barrier — no shard is executing when it runs), so a long
+// sharded run streams per-window progress without touching the kernels.
 func (nw *ShardedNetwork) RunContext(ctx context.Context, horizon float64) (float64, error) {
 	if horizon <= 0 {
 		panic(fmt.Sprintf("node: horizon must be positive, got %g", horizon))
 	}
+	progress := progressFrom(ctx)
 	// Agent starts are construction-time work: global ID order, direct mode.
 	for _, n := range nw.Nodes {
 		n.Start()
@@ -240,6 +244,9 @@ func (nw *ShardedNetwork) RunContext(ctx context.Context, horizon float64) (floa
 		for _, m := range nw.Media {
 			m.FlushBoundary()
 		}
+		if progress != nil {
+			progress(end, horizon)
+		}
 		if barriers%ctxCheckEvery == ctxCheckEvery-1 {
 			if err := ctx.Err(); err != nil {
 				shutdown()
@@ -257,6 +264,9 @@ func (nw *ShardedNetwork) RunContext(ctx context.Context, horizon float64) (floa
 
 	for _, n := range nw.Nodes {
 		n.Finish(horizon)
+	}
+	if progress != nil {
+		progress(horizon, horizon)
 	}
 	return horizon, nil
 }

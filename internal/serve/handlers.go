@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/node"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -114,12 +115,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.countAndWriteError(w, badRequest("%v", err))
 		return
 	}
+	if err := checkShards(sp, req.Shards); err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
 	key := resultKey(s.cfg.Version, "run", canon, req.Seed)
-	s.deliver(w, r, s.timeout(req), key, func(ctx context.Context) ([]byte, error) {
-		rc, err := experiment.FromScenario(sp, req.Seed)
+	s.deliver(w, r, s.timeout(req), key, computeRun(sp, req.Seed, req.Shards, key))
+}
+
+// computeRun builds the pure compute function behind one (spec, seed) run:
+// identical arguments produce a byte-identical body, which is what lets the
+// result live under its content address. shards is an execution hint only —
+// sharded output is bit-identical to serial, so it is absent from the key.
+func computeRun(sp scenario.Scenario, seed int64, shards int, key string) func(ctx context.Context) ([]byte, error) {
+	return func(ctx context.Context) ([]byte, error) {
+		rc, err := experiment.FromScenario(sp, seed)
 		if err != nil {
 			return nil, badRequest("%v", err)
 		}
+		rc.Shards = shards
 		rep, err := experiment.RunOnceContext(ctx, rc)
 		if err != nil {
 			return nil, err
@@ -128,10 +142,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Key:      key,
 			Scenario: sp.Name,
 			Protocol: rc.Protocol,
-			Seed:     req.Seed,
+			Seed:     seed,
 			Report:   summarize(rep),
 		})
-	})
+	}
 }
 
 // handleReplicate serves POST /v1/replicate: one spec across a seed list,
@@ -160,17 +174,40 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		s.countAndWriteError(w, badRequest("%v", err))
 		return
 	}
+	if err := checkShards(sp, req.Shards); err != nil {
+		s.countAndWriteError(w, err)
+		return
+	}
 	key := resultKey(s.cfg.Version, "replicate", canon, seeds...)
-	s.deliver(w, r, s.timeout(req), key, func(ctx context.Context) ([]byte, error) {
+	s.deliver(w, r, s.timeout(req), key, computeReplicate(sp, seeds, req.Shards, key))
+}
+
+// computeReplicate builds the pure compute function behind one spec × seed
+// list replication. Seeds run serially on the one admitted worker slot — a
+// single replicate cannot monopolize the pool — and each seed rebuilds the
+// stimulus, so seed-drawn stimuli vary per seed exactly as in a CLI run. The
+// per-seed progress is scaled into [i/n, (i+1)/n] so a job-status stream sees
+// one monotone ramp across the whole replication.
+func computeReplicate(sp scenario.Scenario, seeds []int64, shards int, key string) func(ctx context.Context) ([]byte, error) {
+	return func(ctx context.Context) ([]byte, error) {
 		var agg metrics.Aggregate
 		var proto string
-		for _, seed := range seeds {
+		n := float64(len(seeds))
+		for i, seed := range seeds {
 			rc, err := experiment.FromScenario(sp, seed)
 			if err != nil {
 				return nil, badRequest("%v", err)
 			}
+			rc.Shards = shards
 			proto = rc.Protocol
-			rep, err := experiment.RunOnceContext(ctx, rc)
+			seedCtx := ctx
+			if outer := node.ProgressFromContext(ctx); outer != nil {
+				base := float64(i)
+				seedCtx = node.WithProgress(ctx, func(now, horizon float64) {
+					outer((base+now/horizon)/n, 1)
+				})
+			}
+			rep, err := experiment.RunOnceContext(seedCtx, rc)
 			if err != nil {
 				return nil, err
 			}
@@ -190,7 +227,26 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 			BatteryDeaths: meanCI(agg.Deaths),
 			FirstDeath:    meanCI(agg.FirstDeath),
 		})
-	})
+	}
+}
+
+// checkShards validates the shards execution hint up front, so a non-shardable
+// spec is a 400 at submit time rather than a late compute failure.
+func checkShards(sp scenario.Scenario, shards int) error {
+	if shards < 0 {
+		return badRequest("negative shards %d", shards)
+	}
+	if shards == 0 {
+		return nil
+	}
+	rc, err := experiment.FromScenario(sp, 1)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	if err := experiment.Shardable(rc); err != nil {
+		return badRequest("%v", err)
+	}
+	return nil
 }
 
 // maxReplicateSeeds bounds one replicate request; larger studies should be

@@ -182,7 +182,7 @@ func TestServeLoadSaturation(t *testing.T) {
 // cost of the content-addressed store. The root-package BenchmarkServeCacheHit
 // wraps this path through the public API for the benchcheck baseline.
 func BenchmarkServeCacheHitInternal(b *testing.B) {
-	s := New(Config{Version: "bench"})
+	s := mustNew(b, Config{Version: "bench"})
 	req := `{"name":"paper","seed":1}`
 	warm := httptest.NewRequest("POST", "/v1/runs", strings.NewReader(req))
 	rec := httptest.NewRecorder()
@@ -196,7 +196,7 @@ func BenchmarkServeCacheHitInternal(b *testing.B) {
 		r := httptest.NewRequest("POST", "/v1/runs", strings.NewReader(req))
 		w := httptest.NewRecorder()
 		s.ServeHTTP(w, r)
-		if w.Header().Get("X-Cache") != "hit" {
+		if w.Header().Get("X-Cache") != "hit-mem" {
 			b.Fatal("expected a cache hit")
 		}
 	}

@@ -21,6 +21,15 @@ type serverStats struct {
 	inFlight    atomic.Int64  // simulations running right now (gauge)
 	queued      atomic.Int64  // admitted simulations waiting for a worker (gauge)
 
+	diskHits    atomic.Uint64 // cache hits served from the durable tier
+	storeErrors atomic.Uint64 // failed disk-store writes (results stayed memory-only)
+
+	jobsSubmitted atomic.Uint64 // 202-acknowledged job submissions
+	jobsCompleted atomic.Uint64 // jobs that reached done
+	jobsFailed    atomic.Uint64 // jobs that reached failed
+	jobsActive    atomic.Int64  // jobs pending or running right now (gauge)
+	jobsReplayed  atomic.Uint64 // incomplete jobs re-executed at startup
+
 	lat latencyWindow
 }
 
@@ -41,6 +50,23 @@ type Stats struct {
 	P50Ms        float64 `json:"p50Ms"`
 	P99Ms        float64 `json:"p99Ms"`
 	Version      string  `json:"version"`
+	UptimeSec    float64 `json:"uptimeSec"`
+
+	// Durability gauges (zero without a StoreDir).
+	DiskHits         uint64 `json:"diskHits"`
+	StoreEntries     int    `json:"storeEntries"`
+	StoreBytes       int64  `json:"storeBytes"`
+	StoreRecovered   int    `json:"storeRecovered"`
+	StoreQuarantined int    `json:"storeQuarantined"`
+	StoreErrors      uint64 `json:"storeErrors"`
+	JournalTorn      int    `json:"journalTorn"`
+
+	// Async-job counters.
+	JobsSubmitted uint64 `json:"jobsSubmitted"`
+	JobsCompleted uint64 `json:"jobsCompleted"`
+	JobsFailed    uint64 `json:"jobsFailed"`
+	JobsActive    int64  `json:"jobsActive"`
+	JobsReplayed  uint64 `json:"jobsReplayed"`
 }
 
 // snapshot folds the counters into the wire shape. hitRate is hits over
@@ -58,6 +84,15 @@ func (s *serverStats) snapshot() Stats {
 		Errors:      s.errored.Load(),
 		InFlight:    s.inFlight.Load(),
 		Queued:      s.queued.Load(),
+
+		DiskHits:    s.diskHits.Load(),
+		StoreErrors: s.storeErrors.Load(),
+
+		JobsSubmitted: s.jobsSubmitted.Load(),
+		JobsCompleted: s.jobsCompleted.Load(),
+		JobsFailed:    s.jobsFailed.Load(),
+		JobsActive:    s.jobsActive.Load(),
+		JobsReplayed:  s.jobsReplayed.Load(),
 	}
 	if hits+misses > 0 {
 		out.HitRate = float64(hits) / float64(hits+misses)

@@ -125,7 +125,7 @@ func TestServeLoadPanicRecovery(t *testing.T) {
 // latency history it falls back to the 1 s floor, and with recorded
 // latencies it scales with the work admitted ahead of the retrying client.
 func TestRetryAfterEstimate(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8, Version: "test"})
+	s := mustNew(t, Config{Workers: 2, QueueDepth: 8, Version: "test"})
 	if got := s.retryAfterSeconds(); got != 1 {
 		t.Fatalf("cold server Retry-After = %d, want the 1 s floor", got)
 	}
@@ -142,7 +142,7 @@ func TestRetryAfterEstimate(t *testing.T) {
 	}
 
 	// Fast simulations round up to the floor, never to zero.
-	s2 := New(Config{Workers: 4, Version: "test"})
+	s2 := mustNew(t, Config{Workers: 4, Version: "test"})
 	for i := 0; i < 8; i++ {
 		s2.stats.lat.record(10)
 	}

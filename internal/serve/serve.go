@@ -34,13 +34,17 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -61,6 +65,19 @@ type Config struct {
 	// the build's VCS revision (module version when absent), so a rebuild
 	// with different code cannot serve stale cached results.
 	Version string
+	// StoreDir, when non-empty, roots the durability tier: a disk-backed
+	// content-addressed result store (StoreDir/results) behind the in-memory
+	// LRU, and the async-jobs write-ahead journal (StoreDir/jobs.wal). With
+	// it set, cache hits survive restarts (X-Cache: hit-disk) and every
+	// 202-acknowledged job survives kill -9: on reopen the journal replays
+	// incomplete jobs and determinism reproduces their byte-identical
+	// results. Empty keeps the historical memory-only server (jobs still
+	// work, but don't survive the process).
+	StoreDir string
+	// JobTimeout caps one async job's execution (0 = 10 min). Async jobs are
+	// for runs too long for the synchronous deadline discipline, so this is
+	// deliberately far above MaxTimeout.
+	JobTimeout time.Duration
 }
 
 // withDefaults materializes the zero-value knobs.
@@ -82,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Version == "" {
 		c.Version = CodeVersion()
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
 	}
 	return c
 }
@@ -107,8 +127,9 @@ func CodeVersion() string {
 }
 
 // Server is the passerve HTTP handler: a worker-pool front end over the
-// experiment harness with a content-addressed result store. Construct with
-// New; the zero value is not usable.
+// experiment harness with a two-tier content-addressed result store (memory
+// LRU over an optional durable disk store) and a journaled async-jobs
+// subsystem. Construct with New; the zero value is not usable.
 type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
@@ -117,28 +138,111 @@ type Server struct {
 	cache  *resultCache
 	flight flightGroup
 	stats  serverStats
+	start  time.Time
+
+	// Durability tier (nil/zero without StoreDir).
+	disk    *store.Store
+	journal *store.Journal
+
+	// Async jobs.
+	jobs      jobTable
+	jobWG     sync.WaitGroup
+	jobCtx    context.Context // parent of every job execution
+	jobStop   context.CancelFunc
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed when draining starts (ends status streams)
+	drainOnce sync.Once
 }
 
-// New builds a Server from cfg (zero fields defaulted).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero fields defaulted). With cfg.StoreDir
+// set it opens the disk store (running its recovery scan) and the job
+// journal, then replays every acknowledged-but-incomplete job: determinism
+// makes re-execution idempotent, so the recovered results are byte-identical
+// to what the dead process would have produced.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		work:  make(chan struct{}, cfg.Workers),
-		cache: newResultCache(cfg.CacheEntries),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		work:    make(chan struct{}, cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries),
+		start:   time.Now(),
+		drainCh: make(chan struct{}),
 	}
+	s.jobCtx, s.jobStop = context.WithCancel(context.Background())
+	s.jobs.init()
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	return s
+	if cfg.StoreDir != "" {
+		disk, err := store.Open(filepath.Join(cfg.StoreDir, "results"))
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		journal, entries, err := store.OpenJournal(filepath.Join(cfg.StoreDir, "jobs.wal"))
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		s.replayJobs(entries)
+	}
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain performs the graceful half of shutdown: stop admitting new jobs,
+// wait (bounded by ctx) for every in-flight job to finish, then fsync the
+// journal and the store so nothing acknowledged rides only in page cache.
+// Call it after http.Server.Shutdown has drained the request handlers.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.disk != nil {
+		if err := s.disk.Sync(); err != nil {
+			return err
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the server's background resources: running jobs are
+// cancelled (their journal entries stay incomplete, so a reopened server
+// re-executes them), and the journal handle closes. Tests and embedders
+// should defer it; cmd/passerve prefers Drain first for a clean exit.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.jobStop()
+	s.jobWG.Wait()
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
 
 // Stats returns a point-in-time snapshot of the serving counters (the same
 // data GET /v1/stats reports).
@@ -146,24 +250,74 @@ func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
 	st.CacheEntries = s.cache.len()
 	st.Version = s.cfg.Version
+	st.UptimeSec = time.Since(s.start).Seconds()
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.StoreEntries = ds.Entries
+		st.StoreBytes = ds.Bytes
+		st.StoreRecovered = ds.Recovered
+		st.StoreQuarantined = ds.Quarantined
+	}
+	if s.journal != nil {
+		st.JournalTorn = s.journal.Torn()
+	}
 	return st
 }
 
 // --- request plumbing ---
 
+// Stable machine-readable error codes. Every 4xx/5xx body is
+// {"code": <one of these>, "error": <human message>}; the code set is the
+// contract the pasclient retry policy switches on, so codes may be added but
+// never renamed or repurposed.
+const (
+	// CodeBadRequest: the request is malformed or semantically invalid.
+	// Permanent — retrying the same bytes cannot succeed.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: unknown scenario or job ID. Permanent for scenarios; for
+	// jobs it can also mean "ask a different replica".
+	CodeNotFound = "not_found"
+	// CodeSaturated: the bounded queue was full. Transient — retry after the
+	// Retry-After header's delay.
+	CodeSaturated = "saturated"
+	// CodeDeadline: the request deadline expired (or the client vanished)
+	// before the simulation finished. Transient under load; a request that
+	// is simply too slow for its budget will deadline again.
+	CodeDeadline = "deadline"
+	// CodePanic: the simulation panicked. Deterministic, hence permanent —
+	// the identical request will panic identically.
+	CodePanic = "panic"
+	// CodeInternal: an unexpected server-side failure. Transient by default.
+	CodeInternal = "internal"
+	// CodeNotReady: the job exists but has not finished; its result is not
+	// yet fetchable. Transient by construction.
+	CodeNotReady = "not_ready"
+	// CodeJobFailed: the job ran and failed; its result will never exist.
+	// Permanent (determinism again).
+	CodeJobFailed = "job_failed"
+	// CodeDraining: the server is shutting down and no longer admits jobs.
+	// Transient — retry against a live replica (or the restarted process).
+	CodeDraining = "draining"
+)
+
 // errSaturated reports that the bounded queue was full; it maps to 429.
 var errSaturated = errors.New("serve: saturated: all workers busy and queue full")
 
-// httpError is a JSON error with a status code.
+// httpError is a JSON error with a status and a stable machine-readable code.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *httpError {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusNotFound, code: CodeNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
 // simRequest is the shared shape of the two simulation endpoints.
@@ -185,6 +339,12 @@ type simRequest struct {
 	// TimeoutSec is the per-request deadline in seconds, clamped to the
 	// server's MaxTimeout (0 = server default).
 	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+	// Shards, when positive, executes the simulation on that many spatially
+	// partitioned kernels (node.BuildShardedNetwork). Output is bit-identical
+	// at any shard count, so Shards is an execution hint and deliberately
+	// NOT part of the result key; a non-shardable spec (lossy channel,
+	// collisions, CSMA, faults) is rejected with 400.
+	Shards int `json:"shards,omitempty"`
 }
 
 // resolveSpec turns the request's scenario selection into a validated spec
@@ -198,8 +358,7 @@ func (s *Server) resolveSpec(req simRequest) (scenario.Scenario, error) {
 	case req.Name != "":
 		var ok bool
 		if sp, ok = scenario.Lookup(req.Name); !ok {
-			return sp, &httpError{status: http.StatusNotFound,
-				msg: fmt.Sprintf("unknown scenario %q (GET /v1/scenarios lists the registry)", req.Name)}
+			return sp, notFound("unknown scenario %q (GET /v1/scenarios lists the registry)", req.Name)
 		}
 	case len(req.Scenario) > 0:
 		var err error
@@ -254,16 +413,24 @@ func resultKey(version, mode string, canon []byte, seeds ...int64) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// deliver serves one simulation-backed request: result-store lookup, then
-// singleflight-collapsed compute under admission control and the request
-// deadline. compute must be a pure function of key — it runs at most once
-// per key across all concurrent callers.
+// deliver serves one simulation-backed request: memory-tier lookup, then
+// disk-tier lookup (promoting hits into the LRU), then singleflight-collapsed
+// compute under admission control and the request deadline. compute must be a
+// pure function of key — it runs at most once per key across all concurrent
+// callers, and its result is written through to both tiers.
 func (s *Server) deliver(w http.ResponseWriter, r *http.Request, d time.Duration, key string, compute func(ctx context.Context) ([]byte, error)) {
 	s.stats.requests.Add(1)
 	start := time.Now()
 	if body, ok := s.cache.get(key); ok {
 		s.stats.cacheHits.Add(1)
-		s.writeBody(w, start, key, body, "hit")
+		s.writeBody(w, start, key, body, "hit-mem")
+		return
+	}
+	if body, ok := s.diskGet(key); ok {
+		s.stats.cacheHits.Add(1)
+		s.stats.diskHits.Add(1)
+		s.cache.put(key, body)
+		s.writeBody(w, start, key, body, "hit-disk")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -276,11 +443,15 @@ func (s *Server) deliver(w http.ResponseWriter, r *http.Request, d time.Duration
 		if body, ok := s.cache.get(key); ok {
 			return body, nil
 		}
+		if body, ok := s.diskGet(key); ok {
+			s.cache.put(key, body)
+			return body, nil
+		}
 		body, err := s.admitAndCompute(ctx, compute)
 		if err != nil {
 			return nil, err
 		}
-		s.cache.put(key, body)
+		s.persist(key, body)
 		return body, nil
 	})
 	if err != nil {
@@ -292,6 +463,27 @@ func (s *Server) deliver(w http.ResponseWriter, r *http.Request, d time.Duration
 	}
 	s.stats.cacheMisses.Add(1)
 	s.writeBody(w, start, key, body, "miss")
+}
+
+// diskGet consults the durable tier, when one is configured.
+func (s *Server) diskGet(key string) ([]byte, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	return s.disk.Get(key)
+}
+
+// persist writes a freshly computed body through both store tiers. A disk
+// write failure demotes the result to memory-only — the response is still
+// correct (determinism lets a future process recompute it), so the request
+// must not fail over durability bookkeeping; the failure is counted instead.
+func (s *Server) persist(key string, body []byte) {
+	s.cache.put(key, body)
+	if s.disk != nil {
+		if err := s.disk.Put(key, body); err != nil {
+			s.stats.storeErrors.Add(1)
+		}
+	}
 }
 
 // admitAndCompute applies backpressure around one simulation: a free slot in
@@ -331,7 +523,7 @@ func (s *Server) admitAndCompute(ctx context.Context, compute func(ctx context.C
 func computeGuarded(ctx context.Context, compute func(ctx context.Context) ([]byte, error)) (body []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = &httpError{status: http.StatusInternalServerError,
+			err = &httpError{status: http.StatusInternalServerError, code: CodePanic,
 				msg: fmt.Sprintf("simulation panicked: %v", r)}
 		}
 	}()
@@ -350,21 +542,24 @@ func (s *Server) writeBody(w http.ResponseWriter, start time.Time, key string, b
 	w.Write(body)
 }
 
-// writeError maps an error to its HTTP status and a JSON body.
+// writeError maps an error to its HTTP status and a JSON body of the shape
+// {"code": <stable machine-readable code>, "error": <human message>} — the
+// same shape for every 4xx/5xx the server emits, so clients switch on code,
+// never on message text.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var he *httpError
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, CodeInternal
 	switch {
 	case errors.As(err, &he):
-		status = he.status
+		status, code = he.status, he.code
 	case errors.Is(err, errSaturated):
-		status = http.StatusTooManyRequests
+		status, code = http.StatusTooManyRequests, CodeSaturated
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.stats.rejected.Add(1)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// The request deadline expired (or the client went away) before the
 		// simulation finished.
-		status = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, CodeDeadline
 		s.stats.deadlined.Add(1)
 	}
 	if status != http.StatusTooManyRequests && status != http.StatusGatewayTimeout {
@@ -372,7 +567,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(errorBody{Code: code, Error: err.Error()})
+}
+
+// errorBody is the wire shape of every error response.
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
 }
 
 // retryAfterSeconds estimates how long a 429'd client should wait before

@@ -26,10 +26,25 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Version == "" {
 		cfg.Version = "test"
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// mustNew builds a bare server for tests that never serve traffic.
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
 }
 
 // post sends a JSON body and returns the response with its body read.
@@ -128,8 +143,8 @@ func TestRunCacheHit(t *testing.T) {
 		t.Fatalf("first X-Cache = %q, want miss", c)
 	}
 	resp2, body2 := post(t, ts.URL, "/v1/runs", req)
-	if c := resp2.Header.Get("X-Cache"); c != "hit" {
-		t.Fatalf("second X-Cache = %q, want hit", c)
+	if c := resp2.Header.Get("X-Cache"); c != "hit-mem" {
+		t.Fatalf("second X-Cache = %q, want hit-mem", c)
 	}
 	if !bytes.Equal(body1, body2) {
 		t.Fatalf("cached body differs from computed body:\n%s\n%s", body1, body2)
@@ -181,8 +196,8 @@ func TestRunInlineSpellingSharesCacheLine(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("inline status = %d (%s)", resp2.StatusCode, body2)
 	}
-	if c := resp2.Header.Get("X-Cache"); c != "hit" {
-		t.Fatalf("inline respelling X-Cache = %q, want hit (keys %s vs %s)",
+	if c := resp2.Header.Get("X-Cache"); c != "hit-mem" {
+		t.Fatalf("inline respelling X-Cache = %q, want hit-mem (keys %s vs %s)",
 			c, resp1.Header.Get("X-Result-Key"), resp2.Header.Get("X-Result-Key"))
 	}
 	if !bytes.Equal(body1, body2) {
@@ -236,8 +251,8 @@ func TestReplicate(t *testing.T) {
 		t.Fatalf("status = %d (%s)", resp1.StatusCode, body1)
 	}
 	resp2, body2 := post(t, ts.URL, "/v1/replicate", req)
-	if c := resp2.Header.Get("X-Cache"); c != "hit" {
-		t.Fatalf("second X-Cache = %q, want hit", c)
+	if c := resp2.Header.Get("X-Cache"); c != "hit-mem" {
+		t.Fatalf("second X-Cache = %q, want hit-mem", c)
 	}
 	if !bytes.Equal(body1, body2) {
 		t.Fatal("replicate repeat body differs")
@@ -276,34 +291,41 @@ func TestReplicateDefaultSeedList(t *testing.T) {
 	}
 }
 
-// TestValidationErrors sweeps the 4xx surface.
+// TestValidationErrors sweeps the 4xx surface and pins the unified error
+// body: every failure is {"code": <stable code>, "error": <message>}, the
+// code being what clients switch retry policy on.
 func TestValidationErrors(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	cases := []struct {
 		name, path, body string
 		status           int
+		code             string
 	}{
-		{"no selector", "/v1/runs", `{"seed":1}`, 400},
-		{"both selectors", "/v1/runs", `{"name":"paper","scenario":{"name":"x"},"seed":1}`, 400},
-		{"unknown name", "/v1/runs", `{"name":"nope"}`, 404},
-		{"unknown protocol", "/v1/runs", `{"name":"paper","protocol":"tdma"}`, 400},
-		{"bad json", "/v1/runs", `{"name":`, 400},
-		{"unknown field", "/v1/runs", `{"name":"paper","sede":1}`, 400},
-		{"invalid inline spec", "/v1/runs", `{"scenario":{"name":"x","nodes":0,"horizon":1,"field":{"min":{"x":0,"y":0},"max":{"x":1,"y":1}},"radio":{"range":1},"stimulus":{"kind":"radial"}}}`, 400},
-		{"seeds and reps", "/v1/replicate", `{"name":"paper","seeds":[1],"reps":2}`, 400},
-		{"too many reps", "/v1/replicate", `{"name":"paper","reps":65}`, 400},
-		{"negative reps", "/v1/replicate", `{"name":"paper","reps":-1}`, 400},
+		{"no selector", "/v1/runs", `{"seed":1}`, 400, CodeBadRequest},
+		{"both selectors", "/v1/runs", `{"name":"paper","scenario":{"name":"x"},"seed":1}`, 400, CodeBadRequest},
+		{"unknown name", "/v1/runs", `{"name":"nope"}`, 404, CodeNotFound},
+		{"unknown protocol", "/v1/runs", `{"name":"paper","protocol":"tdma"}`, 400, CodeBadRequest},
+		{"bad json", "/v1/runs", `{"name":`, 400, CodeBadRequest},
+		{"unknown field", "/v1/runs", `{"name":"paper","sede":1}`, 400, CodeBadRequest},
+		{"invalid inline spec", "/v1/runs", `{"scenario":{"name":"x","nodes":0,"horizon":1,"field":{"min":{"x":0,"y":0},"max":{"x":1,"y":1}},"radio":{"range":1},"stimulus":{"kind":"radial"}}}`, 400, CodeBadRequest},
+		{"seeds and reps", "/v1/replicate", `{"name":"paper","seeds":[1],"reps":2}`, 400, CodeBadRequest},
+		{"too many reps", "/v1/replicate", `{"name":"paper","reps":65}`, 400, CodeBadRequest},
+		{"negative reps", "/v1/replicate", `{"name":"paper","reps":-1}`, 400, CodeBadRequest},
+		{"negative shards", "/v1/runs", `{"name":"paper","seed":1,"shards":-1}`, 400, CodeBadRequest},
+		{"job bad mode", "/v1/jobs", `{"mode":"batch","name":"paper"}`, 400, CodeBadRequest},
+		{"job unknown name", "/v1/jobs", `{"name":"nope"}`, 404, CodeNotFound},
 	}
 	for _, tc := range cases {
 		resp, body := post(t, ts.URL, tc.path, tc.body)
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status = %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
+		var e errorBody
 		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error body %q is not {error: ...}", tc.name, body)
+			t.Errorf("%s: error body %q is not {code, error}", tc.name, body)
+		}
+		if e.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, e.Code, tc.code)
 		}
 	}
 	resp, _ := get(t, ts.URL, "/v1/runs")
@@ -387,7 +409,7 @@ func TestConfigDefaults(t *testing.T) {
 	if cfg.CacheEntries != 4096 || cfg.Version == "" {
 		t.Fatalf("cache/version defaults wrong: %+v", cfg)
 	}
-	s := New(Config{DefaultTimeout: time.Hour, MaxTimeout: time.Minute})
+	s := mustNew(t, Config{DefaultTimeout: time.Hour, MaxTimeout: time.Minute})
 	if d := s.timeout(simRequest{}); d != time.Minute {
 		t.Fatalf("default timeout not clamped to max: %v", d)
 	}

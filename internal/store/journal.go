@@ -1,0 +1,179 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Job entry operations. A job's life in the journal is one OpSubmit entry —
+// appended and fsynced BEFORE the 202 acknowledgment leaves the server, which
+// is what makes the ack a durable promise — optionally followed by one
+// OpDone or OpFail. A submit with no terminal entry at replay time is an
+// incomplete job the restarted server must re-execute; determinism guarantees
+// the re-execution produces the byte-identical body the dead process would
+// have.
+const (
+	OpSubmit = "submit"
+	OpDone   = "done"
+	OpFail   = "fail"
+)
+
+// JobEntry is one journal record in its JSON payload form.
+type JobEntry struct {
+	// ID is the job identifier the 202 response carried.
+	ID string `json:"id"`
+	// Op is OpSubmit, OpDone or OpFail.
+	Op string `json:"op"`
+	// Mode is the endpoint mode ("run" or "replicate"); submit entries only.
+	Mode string `json:"mode,omitempty"`
+	// Key is the result's content address.
+	Key string `json:"key,omitempty"`
+	// Spec is the canonical scenario JSON; submit entries only. Canonical
+	// form is what makes replay exact: the re-executed request hashes to the
+	// same key the original did.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Seeds is the seed list (one entry for runs); submit entries only.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Shards is the sharded-execution hint the submission carried. An
+	// execution detail, not part of the result key — replay honors it so a
+	// recovered job runs at the speed the client asked for.
+	Shards int `json:"shards,omitempty"`
+	// Idem is the caller-supplied idempotency key, when one arrived.
+	Idem string `json:"idem,omitempty"`
+	// Error carries the failure message on OpFail entries.
+	Error string `json:"error,omitempty"`
+}
+
+// Journal is the append-only write-ahead log of the async jobs API. Every
+// append is fsynced before it returns, so an acknowledged entry survives
+// kill -9; replay tolerates exactly the failure fsync discipline permits — a
+// torn final record — by clipping the tail.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	torn int // torn tail records clipped at open
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays every
+// intact entry in append order and positions the file for appending. A torn
+// or corrupt tail — the only damage the per-entry fsync discipline can leave —
+// is truncated away and counted; replay stops at the first bad frame because
+// nothing after an unsynced tear is trustworthy.
+func OpenJournal(path string) (*Journal, []JobEntry, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	var entries []JobEntry
+	good := 0 // byte offset of the end of the last intact record
+	torn := 0
+	for off := 0; off < len(data); {
+		_, body, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			torn = 1
+			break
+		}
+		var e JobEntry
+		if err := json.Unmarshal(body, &e); err != nil {
+			torn = 1
+			break
+		}
+		entries = append(entries, e)
+		off += n
+		good = off
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: clipping torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return &Journal{f: f, path: path, torn: torn}, entries, nil
+}
+
+// Append durably appends one entry: framed, written and fsynced before
+// return. The caller may acknowledge the entry's effect to a client only
+// after Append returns nil.
+func (j *Journal) Append(e JobEntry) error {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	rec := EncodeRecord(e.ID, body)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	return nil
+}
+
+// Sync fsyncs the journal file (appends already sync; drain calls this for
+// symmetry with the store).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Torn reports how many torn tail records the opening replay clipped (0 or 1
+// under the fsync discipline; more would indicate external damage).
+func (j *Journal) Torn() int { return j.torn }
+
+// Incomplete folds a replayed entry sequence into the jobs that were
+// acknowledged but never finished, in submission order, plus the terminal
+// entries by job ID. Unknown ops and terminal entries without a submit are
+// ignored (they cannot correspond to an acknowledged promise).
+func Incomplete(entries []JobEntry) (pending []JobEntry, terminal map[string]JobEntry) {
+	terminal = make(map[string]JobEntry)
+	submitted := make(map[string]int) // id → index into order
+	var order []JobEntry
+	for _, e := range entries {
+		switch e.Op {
+		case OpSubmit:
+			if _, dup := submitted[e.ID]; dup {
+				continue
+			}
+			submitted[e.ID] = len(order)
+			order = append(order, e)
+		case OpDone, OpFail:
+			if _, ok := submitted[e.ID]; ok {
+				terminal[e.ID] = e
+			}
+		}
+	}
+	for _, e := range order {
+		if _, done := terminal[e.ID]; !done {
+			pending = append(pending, e)
+		}
+	}
+	return pending, terminal
+}

@@ -1,0 +1,125 @@
+// Package store is the durability tier of the serving layer: a disk-backed
+// content-addressed result store and an append-only job journal, both built
+// on one CRC-framed record codec. The design exploits the repo's load-bearing
+// determinism guarantee — a result key denotes exactly one byte sequence — so
+// crash recovery never needs to reconcile conflicting versions: a record is
+// either intact (the CRC proves it) or it is discarded and the result is
+// recomputed, byte-identical, from its request.
+//
+// Durability discipline:
+//
+//   - Store writes are atomic: encode → write to a .tmp sibling → fsync →
+//     rename into place → fsync the directory. A crash leaves either the old
+//     state or the new state, never a torn visible record.
+//   - The journal is append-only with per-entry fsync; a crash can tear only
+//     the final entry, which replay detects (CRC/truncation) and truncates.
+//   - Opening either runs a recovery scan: corrupt store records are
+//     quarantined (moved aside for forensics, never silently deleted), and a
+//     torn journal tail is clipped to the last intact entry.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record framing (little-endian):
+//
+//	magic   u32  'P' 'A' 'S' 'R'
+//	version u8   recordVersion
+//	keyLen  u16  length of the key in bytes
+//	bodyLen u32  length of the body in bytes
+//	key     [keyLen]byte
+//	body    [bodyLen]byte
+//	crc     u32  CRC-32C over everything above
+//
+// The CRC covers the header too, so a bit flip in a length field cannot
+// redirect the body slice and still verify.
+const (
+	recordMagic   = 0x52534150 // "PASR" little-endian
+	recordVersion = 1
+	recordHeader  = 4 + 1 + 2 + 4 // magic + version + keyLen + bodyLen
+	recordTrailer = 4             // crc
+
+	// maxRecordKey/maxRecordBody bound a single record. Keys are SHA-256 hex
+	// digests (64 bytes) plus small prefixes; bodies are JSON responses. The
+	// caps exist so a corrupt length field fails cleanly instead of asking
+	// the decoder to trust a multi-gigabyte claim.
+	maxRecordKey  = 1 << 10
+	maxRecordBody = 1 << 28
+)
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on the
+// platforms this serves from.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrTruncated means the input ended mid-record (a torn
+// write); ErrCorrupt means the framing or checksum is wrong (bit rot, or not
+// a record at all). Both are clean, recoverable verdicts — the codec never
+// panics and never returns partially-decoded data.
+var (
+	ErrTruncated = errors.New("store: truncated record")
+	ErrCorrupt   = errors.New("store: corrupt record")
+)
+
+// AppendRecord appends the framed encoding of (key, body) to dst and returns
+// the extended slice.
+func AppendRecord(dst []byte, key string, body []byte) []byte {
+	if len(key) > maxRecordKey {
+		panic(fmt.Sprintf("store: record key length %d exceeds %d", len(key), maxRecordKey))
+	}
+	if len(body) > maxRecordBody {
+		panic(fmt.Sprintf("store: record body length %d exceeds %d", len(body), maxRecordBody))
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, recordMagic)
+	dst = append(dst, recordVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = append(dst, key...)
+	dst = append(dst, body...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// EncodeRecord frames (key, body) as a fresh record.
+func EncodeRecord(key string, body []byte) []byte {
+	return AppendRecord(make([]byte, 0, recordHeader+len(key)+len(body)+recordTrailer), key, body)
+}
+
+// DecodeRecord decodes one record from the front of data, returning the key,
+// the body and the total encoded length consumed. The body aliases data —
+// callers that outlive data must copy. Torn input yields ErrTruncated,
+// anything else malformed yields ErrCorrupt; DecodeRecord never panics.
+func DecodeRecord(data []byte) (key string, body []byte, n int, err error) {
+	if len(data) < recordHeader {
+		return "", nil, 0, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(data) != recordMagic {
+		return "", nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != recordVersion {
+		return "", nil, 0, fmt.Errorf("%w: unknown record version %d", ErrCorrupt, data[4])
+	}
+	keyLen := int(binary.LittleEndian.Uint16(data[5:]))
+	bodyLen := int(binary.LittleEndian.Uint32(data[7:]))
+	if keyLen > maxRecordKey {
+		return "", nil, 0, fmt.Errorf("%w: key length %d exceeds %d", ErrCorrupt, keyLen, maxRecordKey)
+	}
+	if bodyLen > maxRecordBody {
+		return "", nil, 0, fmt.Errorf("%w: body length %d exceeds %d", ErrCorrupt, bodyLen, maxRecordBody)
+	}
+	total := recordHeader + keyLen + bodyLen + recordTrailer
+	if len(data) < total {
+		return "", nil, 0, ErrTruncated
+	}
+	sum := binary.LittleEndian.Uint32(data[total-recordTrailer:])
+	if crc32.Checksum(data[:total-recordTrailer], crcTable) != sum {
+		return "", nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	key = string(data[recordHeader : recordHeader+keyLen])
+	body = data[recordHeader+keyLen : recordHeader+keyLen+bodyLen]
+	return key, body, total, nil
+}

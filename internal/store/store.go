@@ -1,0 +1,244 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is a disk-backed content-addressed result store: one file per result
+// key, written atomically (tmp + fsync + rename + directory fsync), verified
+// by the record CRC on every read. It sits behind the serving layer's
+// in-memory LRU as the second tier, so cache hits survive a process death.
+//
+// Keys must be safe path components (the serving layer uses SHA-256 hex
+// digests); Put rejects anything else rather than trusting the caller.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	entries map[string]int64 // key → body bytes on disk
+	bytes   int64            // total body bytes across entries
+
+	recovered   int // intact entries adopted by the recovery scan
+	quarantined int // torn/corrupt files moved to quarantine/
+}
+
+// Stats is a point-in-time snapshot of the store's durability gauges.
+type Stats struct {
+	// Entries/Bytes describe the live store (bytes count stored bodies, not
+	// framing overhead).
+	Entries int
+	Bytes   int64
+	// Recovered/Quarantined describe the startup recovery scan: intact
+	// records adopted, and torn or corrupt files moved to quarantine/.
+	Recovered   int
+	Quarantined int
+}
+
+const (
+	resultSuffix  = ".res"
+	tmpSuffix     = ".tmp"
+	quarantineDir = "quarantine"
+)
+
+// Open opens (creating if needed) the store rooted at dir and runs the
+// recovery scan: every .res file is CRC-verified and its key cross-checked
+// against its filename; failures are moved to dir/quarantine (never deleted —
+// a quarantined file is evidence). Leftover .tmp files are torn writes that
+// were never visible, so they are quarantined too.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, entries: make(map[string]int64)}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A tmp file is a write the process died inside; it was never
+			// renamed into place, so no acknowledged state is lost.
+			s.quarantine(path)
+		case strings.HasSuffix(name, resultSuffix):
+			key := strings.TrimSuffix(name, resultSuffix)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				s.quarantine(path)
+				continue
+			}
+			k, body, n, err := DecodeRecord(data)
+			if err != nil || k != key || n != len(data) {
+				s.quarantine(path)
+				continue
+			}
+			s.entries[key] = int64(len(body))
+			s.bytes += int64(len(body))
+			s.recovered++
+		}
+	}
+	return s, nil
+}
+
+// quarantine moves a failed file into the quarantine directory, counting it.
+// A move failure falls back to leaving the file where it is — recovery must
+// not abort the daemon over forensics bookkeeping.
+func (s *Store) quarantine(path string) {
+	dst := filepath.Join(s.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	s.quarantined++
+}
+
+// validKey reports whether key is safe to use as a filename component. The
+// serving layer's keys are SHA-256 hex; anything path-like is rejected.
+func validKey(key string) bool {
+	if key == "" || len(key) > maxRecordKey {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return key != "." && key != ".."
+}
+
+// Get returns the stored body for key. A record that fails verification at
+// read time (bit rot since the scan) is quarantined and reported as a miss —
+// determinism means the caller can always recompute it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; !ok {
+		return nil, false
+	}
+	path := filepath.Join(s.dir, key+resultSuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.dropLocked(key, path)
+		return nil, false
+	}
+	k, body, n, err := DecodeRecord(data)
+	if err != nil || k != key || n != len(data) {
+		s.dropLocked(key, path)
+		return nil, false
+	}
+	return body, true
+}
+
+// Has reports whether the store indexes key, without reading or verifying the
+// record (replay uses it to decide what a dead process already persisted).
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// dropLocked removes a failed entry from the index and quarantines its file.
+func (s *Store) dropLocked(key, path string) {
+	s.bytes -= s.entries[key]
+	delete(s.entries, key)
+	s.quarantine(path)
+}
+
+// Put durably stores body under key: the framed record is written to a tmp
+// sibling, fsynced, renamed into place and the directory fsynced, so a crash
+// at any instant leaves either no record or a complete one. Re-putting an
+// existing key is a no-op (keys are content addresses; the bytes are equal by
+// construction).
+func (s *Store) Put(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return nil
+	}
+	final := filepath.Join(s.dir, key+resultSuffix)
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(EncodeRecord(key, body)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.entries[key] = int64(len(body))
+	s.bytes += int64(len(body))
+	return nil
+}
+
+// Sync fsyncs the store directory. Individual records are already durable at
+// Put return; this is the belt-and-suspenders call the graceful-drain path
+// makes before exit.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Stats snapshots the durability gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:     len(s.entries),
+		Bytes:       s.bytes,
+		Recovered:   s.recovered,
+		Quarantined: s.quarantined,
+	}
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,360 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct {
+		key  string
+		body []byte
+	}{
+		{"k", []byte("hello")},
+		{"", nil},
+		{strings.Repeat("a", 64), bytes.Repeat([]byte{0}, 1000)},
+		{"weird", []byte{0xff, 0x00, 0x50, 0x41, 0x53, 0x52}},
+	}
+	for _, tc := range cases {
+		enc := EncodeRecord(tc.key, tc.body)
+		key, body, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", tc.key, err)
+		}
+		if key != tc.key || !bytes.Equal(body, tc.body) || n != len(enc) {
+			t.Fatalf("round trip mismatch: key %q body %d n %d of %d", key, len(body), n, len(enc))
+		}
+		// With trailing data the record still decodes and reports its length.
+		key2, _, n2, err := DecodeRecord(append(append([]byte{}, enc...), "tail"...))
+		if err != nil || key2 != tc.key || n2 != len(enc) {
+			t.Fatalf("decode with tail: key %q n %d err %v", key2, n2, err)
+		}
+	}
+}
+
+func TestRecordTruncation(t *testing.T) {
+	enc := EncodeRecord("key", []byte("body bytes"))
+	for cut := 0; cut < len(enc); cut++ {
+		_, _, _, err := DecodeRecord(enc[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(enc))
+		}
+		// Truncation inside the fixed header or the payload is ErrTruncated;
+		// a cut that only removes CRC bytes still reads as truncated.
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestRecordBitFlips(t *testing.T) {
+	enc := EncodeRecord("key", []byte("body bytes"))
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte{}, enc...)
+			mut[i] ^= 1 << bit
+			key, body, _, err := DecodeRecord(mut)
+			if err == nil && (key != "key" || !bytes.Equal(body, []byte("body bytes"))) {
+				t.Fatalf("bit flip at byte %d bit %d silently corrupted the record", i, bit)
+			}
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded cleanly", i, bit)
+			}
+		}
+	}
+}
+
+func TestRecordLengthCaps(t *testing.T) {
+	// A corrupt bodyLen claiming more than the cap must fail as corrupt, not
+	// truncated (which a retrying reader might wait out) and not allocate.
+	enc := EncodeRecord("key", []byte("b"))
+	enc[7] = 0xff
+	enc[8] = 0xff
+	enc[9] = 0xff
+	enc[10] = 0x7f
+	if _, _, _, err := DecodeRecord(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized bodyLen: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStorePutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("aabb01", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("aabb01", []byte(`{"x":1}`)); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.Put("ccdd02", []byte(`{"y":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	body, ok := s.Get("aabb01")
+	if !ok || string(body) != `{"x":1}` {
+		t.Fatalf("get = %q, %v", body, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key hit")
+	}
+	if !s.Has("aabb01") || s.Has("missing") {
+		t.Fatal("Has disagrees with the index")
+	}
+	if n := s.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Bytes != int64(len(`{"x":1}`)+len(`{"y":2}`)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Recovered != 0 || st.Quarantined != 0 {
+		t.Fatalf("fresh store has recovery stats: %+v", st)
+	}
+
+	// Reopen: both entries recovered intact.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.Stats()
+	if st2.Entries != 2 || st2.Recovered != 2 || st2.Quarantined != 0 {
+		t.Fatalf("reopened stats = %+v", st2)
+	}
+	body, ok = s2.Get("ccdd02")
+	if !ok || string(body) != `{"y":2}` {
+		t.Fatalf("reopened get = %q, %v", body, ok)
+	}
+}
+
+func TestStoreRejectsUnsafeKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", ".", "..", "a/b", `a\b`, "a b", "a\x00b", strings.Repeat("k", maxRecordKey+1)} {
+		if err := s.Put(key, []byte("v")); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+	}
+}
+
+func TestStoreRecoveryQuarantinesTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"good1", "good2", "torn", "flipped"} {
+		if err := s.Put(k, []byte("body-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear one record mid-body, flip a bit in another, leave a stray tmp, and
+	// drop a file whose embedded key disagrees with its name.
+	tornPath := filepath.Join(dir, "torn"+resultSuffix)
+	data, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flippedPath := filepath.Join(dir, "flipped"+resultSuffix)
+	data, err = os.ReadFile(flippedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(flippedPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray"+resultSuffix+tmpSuffix), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "renamed"+resultSuffix), EncodeRecord("other", []byte("v")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Entries != 2 || st.Recovered != 2 {
+		t.Fatalf("recovered = %+v, want 2 intact entries", st)
+	}
+	if st.Quarantined != 4 {
+		t.Fatalf("quarantined = %d, want 4 (torn, flipped, stray tmp, renamed)", st.Quarantined)
+	}
+	if _, ok := s2.Get("torn"); ok {
+		t.Fatal("torn record served")
+	}
+	if body, ok := s2.Get("good1"); !ok || string(body) != "body-good1" {
+		t.Fatalf("good1 = %q, %v", body, ok)
+	}
+	// The quarantined files are preserved for forensics, not deleted.
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 4 {
+		t.Fatalf("quarantine holds %d files, want 4", len(q))
+	}
+}
+
+func TestStoreGetQuarantinesLateCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("rot", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file after the scan: the next Get detects, quarantines and
+	// misses instead of serving garbage.
+	path := filepath.Join(dir, "rot"+resultSuffix)
+	data, _ := os.ReadFile(path)
+	data[recordHeader] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("rot"); ok {
+		t.Fatal("bit-rotted record served")
+	}
+	st := s.Stats()
+	if st.Entries != 0 || st.Quarantined != 1 {
+		t.Fatalf("stats after rot = %+v", st)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(entries))
+	}
+	sub := JobEntry{ID: "j1", Op: OpSubmit, Mode: "run", Key: "k1", Spec: []byte(`{"name":"paper"}`), Seeds: []int64{7}, Idem: "idem-1"}
+	if err := j.Append(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JobEntry{ID: "j2", Op: OpSubmit, Mode: "replicate", Key: "k2", Spec: []byte(`{}`), Seeds: []int64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JobEntry{ID: "j1", Op: OpDone, Key: "k1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(entries) != 3 || j2.Torn() != 0 {
+		t.Fatalf("replayed %d entries, torn %d", len(entries), j2.Torn())
+	}
+	if entries[0].ID != "j1" || entries[0].Mode != "run" || entries[0].Seeds[0] != 7 || entries[0].Idem != "idem-1" {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	pending, terminal := Incomplete(entries)
+	if len(pending) != 1 || pending[0].ID != "j2" {
+		t.Fatalf("pending = %+v, want exactly j2", pending)
+	}
+	if term, ok := terminal["j1"]; !ok || term.Op != OpDone {
+		t.Fatalf("terminal = %+v", terminal)
+	}
+	// Appends after a replayed open extend, not overwrite.
+	if err := j2.Append(JobEntry{ID: "j2", Op: OpFail, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	_, entries, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 || entries[3].Op != OpFail || entries[3].Error != "boom" {
+		t.Fatalf("after reopen-append: %d entries, last %+v", len(entries), entries[len(entries)-1])
+	}
+	pending, _ = Incomplete(entries)
+	if len(pending) != 0 {
+		t.Fatalf("pending after fail = %+v", pending)
+	}
+}
+
+func TestJournalTornTailClipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JobEntry{ID: "j1", Op: OpSubmit, Key: "k1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JobEntry{ID: "j2", Op: OpSubmit, Key: "k2"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Tear the final record, as a kill -9 mid-append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != "j1" || j2.Torn() != 1 {
+		t.Fatalf("replay after tear: %d entries, torn %d", len(entries), j2.Torn())
+	}
+	// The tail was physically truncated, so a new append produces a journal
+	// that replays cleanly.
+	if err := j2.Append(JobEntry{ID: "j3", Op: OpSubmit, Key: "k3"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(entries) != 2 || entries[1].ID != "j3" || j3.Torn() != 0 {
+		t.Fatalf("after clip+append: %d entries, torn %d", len(entries), j3.Torn())
+	}
+}
+
+func TestIncompleteIgnoresOrphanTerminals(t *testing.T) {
+	pending, terminal := Incomplete([]JobEntry{
+		{ID: "ghost", Op: OpDone},
+		{ID: "a", Op: OpSubmit},
+		{ID: "a", Op: OpSubmit}, // duplicate submit ignored
+		{ID: "b", Op: OpSubmit},
+		{ID: "b", Op: "???"}, // unknown op ignored
+	})
+	if len(pending) != 2 || pending[0].ID != "a" || pending[1].ID != "b" {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if len(terminal) != 0 {
+		t.Fatalf("terminal = %+v", terminal)
+	}
+}

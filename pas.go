@@ -70,28 +70,59 @@
 // cmd/passerve runs the reproduction as a long-lived simulation service: an
 // HTTP/JSON daemon (internal/serve, exported here as Server/NewServer) that
 // schedules runs on a bounded worker pool and answers repeated questions
-// from a process-wide content-addressed result store. Determinism is what
-// makes the store sound: the same canonical spec and seed always produce
-// byte-identical output, so results are keyed by SHA-256 over (code version,
-// endpoint mode, canonical spec JSON, seed list) and every spelling of the
-// same workload — registry name, inline spec, defaults spelled out — shares
-// one cache line. CanonicalScenario produces that canonical encoding (sorted
-// keys, defaults materialized, kind-irrelevant fields zeroed) and
-// ScenarioHash its content hash. Concurrent identical requests collapse onto
-// one in-flight simulation (singleflight); distinct requests queue up to a
-// bounded depth and are rejected with 429 beyond it; every request runs
-// under a deadline (504 on expiry):
+// from a content-addressed result store. Determinism is what makes the store
+// sound: the same canonical spec and seed always produce byte-identical
+// output, so results are keyed by SHA-256 over (code version, endpoint mode,
+// canonical spec JSON, seed list) and every spelling of the same workload —
+// registry name, inline spec, defaults spelled out — shares one cache line.
+// CanonicalScenario produces that canonical encoding (sorted keys, defaults
+// materialized, kind-irrelevant fields zeroed) and ScenarioHash its content
+// hash. Concurrent identical requests collapse onto one in-flight simulation
+// (singleflight); distinct requests queue up to a bounded depth and are
+// rejected with 429 beyond it; every request runs under a deadline (504 on
+// expiry). Every 4xx/5xx body is {"code","error"} with a small stable code
+// vocabulary (bad_request, not_found, saturated, deadline, panic, internal,
+// not_ready, job_failed, draining) so callers branch on codes, never on
+// message text:
 //
-//	POST /v1/runs       {"name":"paper","seed":1}         one simulation
-//	POST /v1/replicate  {"name":"paper","seeds":[1,2,3]}  seed aggregate
-//	GET  /v1/scenarios                                    registry + hashes
-//	GET  /v1/stats                                        hit rate, p50/p99, queue
-//	GET  /v1/healthz                                      liveness
+//	POST /v1/runs          {"name":"paper","seed":1}         one simulation
+//	POST /v1/replicate     {"name":"paper","seeds":[1,2,3]}  seed aggregate
+//	POST /v1/jobs          {"mode":"run","name":...}         202 + job id
+//	GET  /v1/jobs/{id}     (?stream=1 for NDJSON progress)   state + progress
+//	GET  /v1/jobs/{id}/result                                completed body
+//	GET  /v1/scenarios                                       registry + hashes
+//	GET  /v1/stats                                           hits, p50/p99, durability
+//	GET  /v1/healthz                                         liveness
+//
+// With ServeConfig.StoreDir set the store is durable: results live in a
+// disk-backed content-addressed store under the in-memory LRU (X-Cache says
+// hit-mem, hit-disk or miss), written atomically (temp file, fsync, rename)
+// in a CRC-framed record format, and a restart's recovery scan adopts intact
+// records and quarantines torn ones. Async jobs are journaled: POST /v1/jobs
+// fsyncs a submit entry to a write-ahead journal before the 202 is sent, so
+// an acknowledged job survives a crash — on restart the journal replays and
+// incomplete jobs re-execute, and determinism guarantees the recovered body
+// is byte-identical to what the crashed process would have served. A
+// SIGTERM'd daemon drains instead: in-flight jobs finish, terminal entries
+// and the store are fsynced, and the restarted daemon has nothing to replay.
+// Graceful shutdown degrades to crash recovery, never to lost work.
+//
+// The Go client for all of this is exported as Client/NewClient (internal/
+// client): typed APIError with the server's code vocabulary, per-attempt
+// timeouts, capped exponential backoff with full jitter that honors
+// Retry-After, idempotency-keyed job submission (retrying a submit cannot
+// double-run work), a consecutive-failure circuit breaker, and job helpers
+// (SubmitJob/WaitJob/JobResult, or RunJob for the whole round trip).
 //
 // Cancellation plumbs all the way into the event kernel: RunContext,
 // ReplicateContext and ReplicateParallelContext stop between kernel slices
 // when their context dies, and produce byte-identical results to the
-// context-free forms when left to finish.
+// context-free forms when left to finish. Progress rides the same channel in
+// reverse: WithRunProgress derives a context whose simulation reports
+// (now, horizon) advance through virtual time — hooks fire from the run
+// orchestration goroutine, never inside an event handler, so an observed run
+// is byte-identical to an unobserved one. The serving layer uses it to
+// stream per-window progress for queued jobs (GET /v1/jobs/{id}?stream=1).
 //
 // # Robustness
 //
@@ -283,6 +314,7 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/client"
 	"repro/internal/contour"
 	"repro/internal/core"
 	"repro/internal/deploy"
@@ -728,5 +760,55 @@ type (
 )
 
 // NewServer builds the simulation-service handler; mount it on any
-// http.Server (cmd/passerve wires listening and graceful shutdown).
-func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+// http.Server (cmd/passerve wires listening and graceful shutdown). With
+// cfg.StoreDir set the error covers the durable store's recovery scan and
+// the job journal replay.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Streaming run progress (internal/node).
+//
+// ProgressFunc observes a running simulation's advance through virtual time.
+// Hooks fire from the run orchestration goroutine, never from inside an
+// event handler, so a progress-observed run is byte-identical to an
+// unobserved one.
+type ProgressFunc = node.ProgressFunc
+
+// WithRunProgress derives a context whose simulations report progress to fn;
+// pass it to RunContext / ReplicateContext (the serving layer uses the same
+// hook to stream async-job progress).
+func WithRunProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return node.WithProgress(ctx, fn)
+}
+
+// Simulation-service client (internal/client).
+type (
+	// Client is the retrying HTTP client for the simulation service:
+	// per-attempt timeouts, capped exponential backoff with full jitter
+	// (honoring Retry-After), idempotency-keyed job submission and a
+	// consecutive-failure circuit breaker.
+	Client = client.Client
+	// ClientConfig tunes the client; the zero value (plus BaseURL) is a
+	// sensible production client.
+	ClientConfig = client.Config
+	// APIError is a typed service error carrying the HTTP status and the
+	// stable wire code; Transient reports whether a retry can help.
+	APIError = client.APIError
+	// RunRequest selects a workload by registry name or inline spec, with a
+	// seed (runs) or seed list (replicates) and an optional shard hint.
+	RunRequest = client.RunRequest
+	// JobAccepted is the 202 acknowledgment for an async job.
+	JobAccepted = client.JobAccepted
+	// JobState reports an async job's state, progress and error code.
+	JobState = client.JobStatus
+)
+
+// ErrBreakerOpen is returned by Client calls refused locally while its
+// circuit breaker cools down.
+var ErrBreakerOpen = client.ErrBreakerOpen
+
+// NewClient builds a Client with default retry policy against baseURL; use
+// NewClientWithConfig to tune it.
+func NewClient(baseURL string) *Client { return client.New(baseURL) }
+
+// NewClientWithConfig builds a Client from an explicit configuration.
+func NewClientWithConfig(cfg ClientConfig) *Client { return client.NewWithConfig(cfg) }
